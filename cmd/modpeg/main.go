@@ -1,0 +1,359 @@
+// Command modpeg is the command-line front end of the modular-PEG parser
+// toolkit: it composes module grammars, reports their statistics, checks
+// them, parses inputs, and generates standalone Go parsers.
+//
+// Usage:
+//
+//	modpeg modules
+//	modpeg stats   [-d dir] <top-module>
+//	modpeg print   [-d dir] [-optimized] <top-module>
+//	modpeg check   [-d dir] <top-module>
+//	modpeg parse   [-d dir] [-indent] [-stats] <top-module> [file]
+//	modpeg generate [-d dir] [-pkg name] [-o file] <top-module>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"modpeg"
+	"modpeg/internal/core"
+	"modpeg/internal/experiments"
+	"modpeg/internal/grammars"
+	"modpeg/internal/peg"
+	"modpeg/internal/syntax"
+	"modpeg/internal/vm"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "modules":
+		err = cmdModules(stdout)
+	case "stats":
+		err = cmdStats(rest, stdout)
+	case "print":
+		err = cmdPrint(rest, stdout)
+	case "check":
+		err = cmdCheck(rest, stdout)
+	case "parse":
+		err = cmdParse(rest, stdin, stdout)
+	case "generate":
+		err = cmdGenerate(rest, stdout)
+	case "experiment":
+		err = cmdExperiment(rest, stdout)
+	case "fmt":
+		err = cmdFmt(rest, stdin, stdout)
+	case "help", "-h", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "modpeg: unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "modpeg: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `modpeg — modular PEG parser toolkit
+
+commands:
+  modules                          list bundled grammar modules
+  stats    [-d dir] <top>          per-module and composed grammar statistics
+  print    [-d dir] [-optimized] <top>
+                                   print the composed grammar
+  check    [-d dir] <top>          compose and run the static checks
+  parse    [-d dir] [-indent] [-stats] <top> [file]
+                                   parse a file (or stdin) and print the AST
+  generate [-d dir] [-pkg p] [-o file] <top>
+                                   emit a standalone Go parser
+  experiment [-kb n] [-mintime d] <table1|table2|table3|table4|fig1|fig2|fig3|all>
+                                   run the paper-reproduction experiments
+  fmt      [-w] [file...]          reformat .mpeg module files (stdin without args)
+`)
+}
+
+// moduleOpts builds the option list shared by all grammar-loading
+// commands.
+func moduleOpts(dir string) []modpeg.Option {
+	var opts []modpeg.Option
+	if dir != "" {
+		opts = append(opts, modpeg.WithModuleDir(dir))
+	}
+	return opts
+}
+
+func cmdModules(w io.Writer) error {
+	names := grammars.ModuleNames()
+	sort.Strings(names)
+	tops := map[string]bool{}
+	for _, t := range grammars.TopModules() {
+		tops[t] = true
+	}
+	for _, n := range names {
+		mark := " "
+		if tops[n] {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%s %s\n", mark, n)
+	}
+	fmt.Fprintln(w, "\n(* = composable top module)")
+	return nil
+}
+
+func cmdStats(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	dir := fs.String("d", "", "module directory")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		return fmt.Errorf("usage: modpeg stats [-d dir] <top-module>")
+	}
+	top := fs.Arg(0)
+
+	p, err := modpeg.New(top, moduleOpts(*dir)...)
+	if err != nil {
+		return err
+	}
+	// Per-module statistics require the raw modules.
+	resolver := resolverFor(*dir)
+	fmt.Fprintln(w, peg.ModuleStatsHeader())
+	for _, name := range p.Modules() {
+		base := name
+		if i := strings.IndexByte(base, '<'); i >= 0 {
+			base = base[:i]
+		}
+		src, err := resolver.Resolve(base)
+		if err != nil {
+			continue
+		}
+		m, err := syntax.Parse(src)
+		if err != nil {
+			continue
+		}
+		st := peg.StatsOf(m)
+		st.Module = name
+		fmt.Fprintln(w, st.Row())
+	}
+	fmt.Fprintf(w, "\ncomposed: %s\n", p.Stats())
+	fmt.Fprintf(w, "optimized: %s\n", p.OptimizedStats())
+	fmt.Fprintf(w, "\noptimization report:\n%s", p.OptimizationReport())
+	return nil
+}
+
+func resolverFor(dir string) core.Resolver {
+	if dir == "" {
+		return grammars.Resolver()
+	}
+	return core.MultiResolver{core.DirResolver{Dir: dir}, grammars.Resolver()}
+}
+
+func cmdPrint(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("print", flag.ContinueOnError)
+	dir := fs.String("d", "", "module directory")
+	optimized := fs.Bool("optimized", false, "print the optimized grammar")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		return fmt.Errorf("usage: modpeg print [-d dir] [-optimized] <top-module>")
+	}
+	p, err := modpeg.New(fs.Arg(0), moduleOpts(*dir)...)
+	if err != nil {
+		return err
+	}
+	if *optimized {
+		fmt.Fprint(w, p.OptimizedGrammar())
+	} else {
+		fmt.Fprint(w, p.Grammar())
+	}
+	return nil
+}
+
+func cmdCheck(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	dir := fs.String("d", "", "module directory")
+	lint := fs.Bool("lint", false, "also report non-fatal grammar smells")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		return fmt.Errorf("usage: modpeg check [-d dir] [-lint] <top-module>")
+	}
+	p, err := modpeg.New(fs.Arg(0), moduleOpts(*dir)...)
+	if err != nil {
+		return err
+	}
+	if err := p.Check(); err != nil {
+		return err
+	}
+	if *lint {
+		for _, warning := range p.Lint() {
+			fmt.Fprintf(w, "lint: %s\n", warning)
+		}
+	}
+	s := p.Stats()
+	fmt.Fprintf(w, "ok: %d modules, %d productions, %d alternatives\n",
+		s.Modules, s.Productions, s.Alternatives)
+	return nil
+}
+
+func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
+	fs := flag.NewFlagSet("parse", flag.ContinueOnError)
+	dir := fs.String("d", "", "module directory")
+	indent := fs.Bool("indent", false, "print the AST as an indented tree")
+	asJSON := fs.Bool("json", false, "print the AST as JSON")
+	withStats := fs.Bool("stats", false, "print engine statistics")
+	withTrace := fs.Bool("trace", false, "stream a production-call trace before the AST")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
+		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] <top-module> [file]")
+	}
+	p, err := modpeg.New(fs.Arg(0), moduleOpts(*dir)...)
+	if err != nil {
+		return err
+	}
+
+	name := "<stdin>"
+	var input []byte
+	if fs.NArg() == 2 {
+		name = fs.Arg(1)
+		input, err = os.ReadFile(name)
+	} else {
+		input, err = io.ReadAll(stdin)
+	}
+	if err != nil {
+		return err
+	}
+
+	var v modpeg.Value
+	var stats modpeg.ParseStats
+	if *withTrace {
+		v, err = p.ParseWithTrace(name, string(input), w)
+	} else {
+		v, stats, err = p.ParseWithStats(name, string(input))
+	}
+	if err != nil {
+		if pe, ok := err.(*vm.ParseError); ok {
+			return fmt.Errorf("%s", pe.Detail())
+		}
+		return err
+	}
+	switch {
+	case *asJSON:
+		out, err := modpeg.ValueToJSON(v)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, out)
+	case *indent:
+		fmt.Fprint(w, modpeg.IndentValue(v))
+	default:
+		fmt.Fprintln(w, modpeg.FormatValue(v))
+	}
+	if *withStats {
+		fmt.Fprintf(w, "stats: %s\n", stats)
+	}
+	return nil
+}
+
+func cmdGenerate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	dir := fs.String("d", "", "module directory")
+	pkg := fs.String("pkg", "parser", "generated package name")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		return fmt.Errorf("usage: modpeg generate [-d dir] [-pkg name] [-o file] <top-module>")
+	}
+	p, err := modpeg.New(fs.Arg(0), moduleOpts(*dir)...)
+	if err != nil {
+		return err
+	}
+	src, err := p.GenerateGo(*pkg)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = w.Write(src)
+		return err
+	}
+	return os.WriteFile(*out, src, 0o644)
+}
+
+func cmdFmt(args []string, stdin io.Reader, w io.Writer) error {
+	fs := flag.NewFlagSet("fmt", flag.ContinueOnError)
+	write := fs.Bool("w", false, "write the result back to the file")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("usage: modpeg fmt [-w] [file...]")
+	}
+	if fs.NArg() == 0 {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			return err
+		}
+		m, err := syntax.ParseString("<stdin>", string(data))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, peg.FormatModule(m))
+		return nil
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		m, err := syntax.ParseString(path, string(data))
+		if err != nil {
+			return err
+		}
+		out := peg.FormatModule(m)
+		if *write {
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprint(w, out)
+	}
+	return nil
+}
+
+func cmdExperiment(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	kb := fs.Int("kb", 40, "corpus size in KB for throughput experiments")
+	minTime := fs.Duration("mintime", 300*time.Millisecond, "measurement window per configuration")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table4|fig1..fig3|all>")
+	}
+	opts := experiments.Options{InputKB: *kb, MinTime: *minTime}
+	if fs.Arg(0) == "all" {
+		for _, t := range experiments.All(opts) {
+			fmt.Fprintln(w, t.Render())
+		}
+		return nil
+	}
+	t, err := experiments.ByID(fs.Arg(0), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, t.Render())
+	return nil
+}

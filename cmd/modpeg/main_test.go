@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, stdin string, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	_, errb, code := runCmd(t, "")
+	if code != 2 || !strings.Contains(errb, "commands:") {
+		t.Fatalf("no-args: code=%d err=%q", code, errb)
+	}
+	_, errb, code = runCmd(t, "", "frobnicate")
+	if code != 2 || !strings.Contains(errb, "unknown command") {
+		t.Fatalf("unknown: code=%d err=%q", code, errb)
+	}
+	out, _, code := runCmd(t, "", "help")
+	if code != 0 || !strings.Contains(out, "modules") {
+		t.Fatalf("help: code=%d", code)
+	}
+}
+
+func TestModules(t *testing.T) {
+	out, _, code := runCmd(t, "", "modules")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	for _, frag := range []string{"calc.core", "java.full", "* json.value"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	out, errb, code := runCmd(t, "", "stats", "calc.full")
+	if code != 0 {
+		t.Fatalf("code = %d, err = %s", code, errb)
+	}
+	for _, frag := range []string{"module", "calc.core", "composed:", "optimized:", "optimization report"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	_, _, code = runCmd(t, "", "stats")
+	if code != 1 {
+		t.Fatal("missing arg must fail")
+	}
+}
+
+func TestPrint(t *testing.T) {
+	out, _, code := runCmd(t, "", "print", "calc.core")
+	if code != 0 || !strings.Contains(out, "calc.core.Sum") {
+		t.Fatalf("print failed: %d\n%s", code, out)
+	}
+	opt, _, code := runCmd(t, "", "print", "-optimized", "calc.core")
+	if code != 0 || !strings.Contains(opt, "leftrec") {
+		t.Fatalf("optimized print failed: %d", code)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	out, _, code := runCmd(t, "", "check", "java.full")
+	if code != 0 || !strings.Contains(out, "ok:") {
+		t.Fatalf("check: code=%d out=%q", code, out)
+	}
+	_, errb, code := runCmd(t, "", "check", "no.such")
+	if code != 1 || !strings.Contains(errb, "no.such") {
+		t.Fatalf("check unknown: code=%d err=%q", code, errb)
+	}
+}
+
+func TestParseStdinAndFile(t *testing.T) {
+	out, _, code := runCmd(t, "1+2*3", "parse", "calc.core")
+	if code != 0 || !strings.Contains(out, `(Add (Num "1") (Mul (Num "2") (Num "3")))`) {
+		t.Fatalf("parse stdin: code=%d out=%q", code, out)
+	}
+
+	dir := t.TempDir()
+	file := filepath.Join(dir, "in.calc")
+	if err := os.WriteFile(file, []byte("2**5"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code = runCmd(t, "", "parse", "-indent", "-stats", "calc.full", file)
+	if code != 0 || !strings.Contains(out, "Pow") || !strings.Contains(out, "stats:") {
+		t.Fatalf("parse file: code=%d out=%q", code, out)
+	}
+
+	_, errb, code := runCmd(t, "1+", "parse", "calc.core")
+	if code != 1 || !strings.Contains(errb, "syntax error") {
+		t.Fatalf("parse error: code=%d err=%q", code, errb)
+	}
+	_, _, code = runCmd(t, "", "parse", "calc.core", filepath.Join(dir, "missing"))
+	if code != 1 {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestParseWithModuleDir(t *testing.T) {
+	dir := t.TempDir()
+	mod := filepath.Join(dir, "user.lang.mpeg")
+	src := "module user.lang;\npublic S = $([a-z]+) !. ;\n"
+	if err := os.WriteFile(mod, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errb, code := runCmd(t, "hello", "parse", "-d", dir, "user.lang")
+	if code != 0 || !strings.Contains(out, `"hello"`) {
+		t.Fatalf("code=%d out=%q err=%q", code, out, errb)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	out, _, code := runCmd(t, "", "generate", "-pkg", "cp", "calc.core")
+	if code != 0 || !strings.Contains(out, "package cp") {
+		t.Fatalf("generate: code=%d", code)
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "gen.go")
+	_, _, code = runCmd(t, "", "generate", "-o", file, "json.value")
+	if code != 0 {
+		t.Fatal("generate to file failed")
+	}
+	data, err := os.ReadFile(file)
+	if err != nil || !strings.Contains(string(data), "package parser") {
+		t.Fatalf("written file wrong: %v", err)
+	}
+}
+
+func TestExperimentCommand(t *testing.T) {
+	out, errb, code := runCmd(t, "", "experiment", "-kb", "2", "-mintime", "1ms", "fig3")
+	if code != 0 || !strings.Contains(out, "backtracking") {
+		t.Fatalf("experiment: code=%d err=%q", code, errb)
+	}
+	_, _, code = runCmd(t, "", "experiment", "bogus")
+	if code != 1 {
+		t.Fatal("unknown experiment must fail")
+	}
+	_, _, code = runCmd(t, "", "experiment")
+	if code != 1 {
+		t.Fatal("missing arg must fail")
+	}
+	out, _, code = runCmd(t, "", "experiment", "-kb", "2", "-mintime", "1ms", "table1")
+	if code != 0 || !strings.Contains(out, "calc.core") {
+		t.Fatalf("table1: code=%d", code)
+	}
+}
+
+func TestFmtCommand(t *testing.T) {
+	out, errb, code := runCmd(t, "module m;\npublic   S =  \"x\"   /   \"y\" ;", "fmt")
+	if code != 0 || !strings.Contains(out, `public S = "x" / "y" ;`) {
+		t.Fatalf("fmt stdin: code=%d out=%q err=%q", code, out, errb)
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "m.mpeg")
+	if err := os.WriteFile(file, []byte("module m;\nS=\"x\";"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, code = runCmd(t, "", "fmt", "-w", file)
+	if code != 0 {
+		t.Fatal("fmt -w failed")
+	}
+	data, _ := os.ReadFile(file)
+	if !strings.Contains(string(data), `S = "x" ;`) {
+		t.Fatalf("file = %q", data)
+	}
+	// Formatting is idempotent.
+	out1, _, _ := runCmd(t, "", "fmt", file)
+	if out1 != string(data) {
+		t.Fatalf("not idempotent: %q vs %q", out1, data)
+	}
+	_, _, code = runCmd(t, "not a module", "fmt")
+	if code != 1 {
+		t.Fatal("bad module must fail")
+	}
+	_, _, code = runCmd(t, "", "fmt", filepath.Join(dir, "missing.mpeg"))
+	if code != 1 {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestParseTraceFlag(t *testing.T) {
+	out, _, code := runCmd(t, "1+2", "parse", "-trace", "calc.core")
+	if code != 0 || !strings.Contains(out, "Program @0 {") || !strings.Contains(out, "(Add") {
+		t.Fatalf("trace parse: code=%d out=%q", code, out)
+	}
+}
+
+func TestCheckLintFlag(t *testing.T) {
+	dir := t.TempDir()
+	mod := filepath.Join(dir, "smelly.mpeg")
+	src := "module smelly;\npublic S = \"in\" / \"int\" ;\nDead = \"d\" ;\n"
+	if err := os.WriteFile(mod, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := runCmd(t, "", "check", "-lint", "-d", dir, "smelly")
+	if code != 0 || !strings.Contains(out, "lint:") || !strings.Contains(out, "shadowed") {
+		t.Fatalf("lint output: code=%d out=%q", code, out)
+	}
+	// Bundled grammars lint clean.
+	out, _, code = runCmd(t, "", "check", "-lint", "java.full")
+	if code != 0 || strings.Contains(out, "lint:") {
+		t.Fatalf("java.full must lint clean: %q", out)
+	}
+}
+
+func TestParseJSONFlag(t *testing.T) {
+	out, _, code := runCmd(t, "1+2", "parse", "-json", "calc.core")
+	if code != 0 || !strings.Contains(out, `"kind": "node"`) || !strings.Contains(out, `"name": "Add"`) {
+		t.Fatalf("json parse: code=%d out=%q", code, out)
+	}
+}

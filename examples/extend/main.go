@@ -1,0 +1,122 @@
+// Extend: the paper's headline capability — extend a language you did
+// not write, from the outside, with a module of your own.
+//
+// This example adds two constructs to the bundled calculator without
+// touching its source: a postfix factorial operator and an absolute-value
+// atom |e|. Each lives in its own module; both compose with the base
+// grammar (and with each other) through labeled anchors.
+//
+// Run with:
+//
+//	go run ./examples/extend
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	"modpeg"
+)
+
+// factorialModule adds "n!" at the Factor extension point.
+const factorialModule = `
+module user.factorial;
+
+modify calc.core;
+import calc.lex;
+
+Factor += <fact> e:Atom BANG @Fact before <atom> ;
+
+void BANG = "!" Spacing ;
+`
+
+// absModule adds |e| as a new kind of atom.
+const absModule = `
+module user.abs;
+
+modify calc.core;
+import calc.lex;
+
+Atom += <abs> BAR e:Sum BAR @Abs before <num> ;
+
+void BAR = "|" Spacing ;
+`
+
+// top composes the base calculator with both user extensions.
+const topModule = `
+module user.top;
+
+import calc.core;
+import user.factorial;
+import user.abs;
+option root = calc.core.Program;
+`
+
+func main() {
+	base, err := modpeg.New("calc.core")
+	if err != nil {
+		log.Fatal(err)
+	}
+	extended, err := modpeg.New("user.top", modpeg.WithModules(map[string]string{
+		"user.top":       topModule,
+		"user.factorial": factorialModule,
+		"user.abs":       absModule,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inputs := []string{
+		"5! - 100",
+		"|3 - 10| * 2",
+		"(3! + |1 - 3|)!",
+	}
+	for _, input := range inputs {
+		if _, err := base.Parse("in", input); err == nil {
+			log.Fatalf("base grammar unexpectedly accepted %q", input)
+		}
+		v, err := extended.Parse("in", input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s => %-40s = %v\n", input, modpeg.FormatValue(v), eval(v))
+	}
+
+	fmt.Println("\ncomposed modules:")
+	for _, m := range extended.Modules() {
+		fmt.Println("  ", m)
+	}
+}
+
+func eval(v modpeg.Value) float64 {
+	switch n := v.(type) {
+	case *modpeg.Node:
+		switch n.Name {
+		case "Num":
+			f, _ := strconv.ParseFloat(modpeg.TextOf(n), 64)
+			return f
+		case "Add":
+			return eval(n.Child(0)) + eval(n.Child(1))
+		case "Sub":
+			return eval(n.Child(0)) - eval(n.Child(1))
+		case "Mul":
+			return eval(n.Child(0)) * eval(n.Child(1))
+		case "Div":
+			return eval(n.Child(0)) / eval(n.Child(1))
+		case "Fact":
+			f := 1.0
+			for i := 2; i <= int(eval(n.Child(0))); i++ {
+				f *= float64(i)
+			}
+			return f
+		case "Abs":
+			x := eval(n.Child(0))
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+	}
+	return 0
+}

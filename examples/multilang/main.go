@@ -1,0 +1,79 @@
+// Multilang: language composition across author boundaries — the paper's
+// motivating scenario. The bundled demo.javasql module embeds the SQL
+// grammar into Java expressions: a backquoted query is parsed by the SQL
+// grammar, in the same pass, by the same engine, producing one mixed AST.
+//
+// This example parses a Java class containing embedded queries, then
+// walks the combined tree to extract every query with its table, columns,
+// and conditions — the kind of static analysis single-language parsers
+// cannot do.
+//
+// Run with:
+//
+//	go run ./examples/multilang
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"modpeg"
+)
+
+const source = `
+package com.example.reports;
+
+public class ReportDao {
+    java.sql.ResultSet adults() {
+        return run(` + "`SELECT name, age FROM users WHERE age >= 18`" + `);
+    }
+
+    java.sql.ResultSet everything() {
+        return run(` + "`SELECT * FROM audit_log`" + `);
+    }
+
+    int threshold() {
+        return 18;
+    }
+
+    java.sql.ResultSet filtered(int lo) {
+        return run(` + "`SELECT id FROM events WHERE kind = 'login' AND severity > 3`" + `);
+    }
+}
+`
+
+func main() {
+	parser, err := modpeg.New("demo.javasql.top")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := parser.Parse("ReportDao.java", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	methods := modpeg.FindAllNodes(tree, "Method")
+	fmt.Printf("parsed one file, two languages: %d methods\n\n", len(methods))
+
+	for _, q := range modpeg.FindAllNodes(tree, "Select") {
+		fmt.Println("embedded query:")
+		if cols := modpeg.FindNode(q, "Columns"); cols != nil {
+			fmt.Print("  columns:")
+			for _, c := range modpeg.FindAllNodes(cols, "Name") {
+				fmt.Printf(" %s", modpeg.TextOf(c))
+			}
+			fmt.Println()
+		} else if modpeg.FindNode(q, "AllColumns") != nil {
+			fmt.Println("  columns: *")
+		}
+		// The table is the Name child of the Select node itself.
+		if tbl, ok := q.Child(1).(*modpeg.Node); ok {
+			fmt.Printf("  table:   %s\n", modpeg.TextOf(tbl))
+		}
+		for _, cmp := range modpeg.FindAllNodes(q, "Cmp") {
+			fmt.Printf("  where:   %s %s %s\n",
+				modpeg.TextOf(cmp.Child(0)), modpeg.TextOf(cmp.Child(1)), modpeg.TextOf(cmp.Child(2)))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart: compose the bundled calculator grammar, parse an
+// expression, inspect the AST, and evaluate it by walking the generic
+// nodes.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	"modpeg"
+)
+
+func main() {
+	// calc.full composes the base calculator with the ** and comparison
+	// extension modules.
+	parser, err := modpeg.New("calc.full")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, input := range []string{
+		"1 + 2 * 3",
+		"(1 + 2) * 3",
+		"2 ** 10 - 24",
+		"2 ** 3 ** 2",
+		"7 * 6 < 43",
+	} {
+		value, err := parser.Parse("quickstart", input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s => %-55s = %v\n", input, modpeg.FormatValue(value), eval(value))
+	}
+
+	// Syntax errors come with positions and expectations.
+	if _, err := parser.Parse("quickstart", "1 + * 2"); err != nil {
+		fmt.Printf("\nerror example: %v\n", err)
+	}
+}
+
+// eval interprets the calculator's generic AST. Node names come from the
+// @Ctor annotations in the grammar modules — including the Pow and Lt
+// constructors contributed by extension modules.
+func eval(v modpeg.Value) float64 {
+	switch n := v.(type) {
+	case *modpeg.Node:
+		switch n.Name {
+		case "Num":
+			f, _ := strconv.ParseFloat(modpeg.TextOf(n), 64)
+			return f
+		case "Add":
+			return eval(n.Child(0)) + eval(n.Child(1))
+		case "Sub":
+			return eval(n.Child(0)) - eval(n.Child(1))
+		case "Mul":
+			return eval(n.Child(0)) * eval(n.Child(1))
+		case "Div":
+			return eval(n.Child(0)) / eval(n.Child(1))
+		case "Pow":
+			return pow(eval(n.Child(0)), eval(n.Child(1)))
+		case "Lt":
+			return boolVal(eval(n.Child(0)) < eval(n.Child(1)))
+		case "Gt":
+			return boolVal(eval(n.Child(0)) > eval(n.Child(1)))
+		}
+	}
+	return 0
+}
+
+func pow(base, exp float64) float64 {
+	result := 1.0
+	for i := 0; i < int(exp); i++ {
+		result *= base
+	}
+	return result
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,230 @@
+// Scriptlang: build a complete little language with modpeg — grammar
+// modules, one extension, and a tree-walking interpreter over the generic
+// AST. This is the "language laboratory" workflow the paper enables:
+// the language definition is data, split into modules, extended without
+// touching the base.
+//
+// Run with:
+//
+//	go run ./examples/scriptlang
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"modpeg"
+)
+
+// The language: variables, arithmetic, comparisons, if/while, print.
+// Split into lexical, expression, and statement modules like the bundled
+// grammars.
+var modules = map[string]string{
+	"lang.lex": `
+module lang.lex;
+
+public void Spacing = ([ \t\r\n] / "#" [^\n]*)* ;
+public Identifier = !Keyword v:IdentText Spacing @Var ;
+text IdentText = [a-z_] [a-z0-9_]* ;
+void Keyword = ("if" / "else" / "while" / "print" / "let") !IdentPart ;
+void IdentPart = [a-z0-9_] ;
+public Number = v:$([0-9]+) Spacing @Num ;
+public void ASSIGN = "=" !"=" Spacing ;
+public void SEMI   = ";" Spacing ;
+public void LPAREN = "(" Spacing ;
+public void RPAREN = ")" Spacing ;
+public void LBRACE = "{" Spacing ;
+public void RBRACE = "}" Spacing ;
+public void PLUS   = "+" Spacing ;
+public void MINUS  = "-" Spacing ;
+public void STAR   = "*" Spacing ;
+public void SLASH  = "/" Spacing ;
+public void LT     = "<" Spacing ;
+public void GT     = ">" Spacing ;
+public void EQEQ   = "==" Spacing ;
+public void KwIf    = "if" !IdentPart Spacing ;
+public void KwElse  = "else" !IdentPart Spacing ;
+public void KwWhile = "while" !IdentPart Spacing ;
+public void KwPrint = "print" !IdentPart Spacing ;
+public void KwLet   = "let" !IdentPart Spacing ;
+public void EOF     = !. ;
+`,
+	"lang.expr": `
+module lang.expr;
+
+import lang.lex;
+
+public Expression =
+    <lt> l:Sum LT r:Sum @Lt
+  / <gt> l:Sum GT r:Sum @Gt
+  / <eq> l:Sum EQEQ r:Sum @Eq
+  / <sum> Sum
+  ;
+Sum =
+    <add> l:Sum PLUS r:Prod @Add
+  / <sub> l:Sum MINUS r:Prod @Sub
+  / <prod> Prod
+  ;
+Prod =
+    <mul> l:Prod STAR r:Atom @Mul
+  / <div> l:Prod SLASH r:Atom @Div
+  / <atom> Atom
+  ;
+Atom =
+    <num>   Number
+  / <var>   Identifier
+  / <paren> LPAREN e:Expression RPAREN
+  ;
+`,
+	"lang.stmt": `
+module lang.stmt;
+
+import lang.lex;
+import lang.expr;
+option root = Program;
+
+public Program = Spacing ss:Statement* EOF @Program ;
+
+public Statement =
+    <let>    KwLet n:Identifier ASSIGN e:Expression SEMI @Let
+  / <assign> n:Identifier ASSIGN e:Expression SEMI @Assign
+  / <print>  KwPrint e:Expression SEMI @Print
+  / <if>     KwIf LPAREN c:Expression RPAREN t:Block f:ElseClause? @If
+  / <while>  KwWhile LPAREN c:Expression RPAREN b:Block @While
+  ;
+ElseClause = KwElse b:Block @Else ;
+public Block = LBRACE ss:Statement* RBRACE @Block ;
+`,
+	// The extension: a "repeat N { ... }" statement, added from outside.
+	"lang.ext.repeat": `
+module lang.ext.repeat;
+
+modify lang.stmt;
+import lang.lex;
+import lang.expr;
+
+Statement += <repeat> KwRepeat n:Expression b:Block @Repeat before <if> ;
+
+void KwRepeat = "repeat" !RepIdentPart Spacing ;
+void RepIdentPart = [a-z0-9_] ;
+`,
+	"lang.full": `
+module lang.full;
+
+import lang.stmt;
+import lang.ext.repeat;
+option root = lang.stmt.Program;
+`,
+}
+
+const program = `
+# fibonacci, with the repeat extension
+let a = 0;
+let b = 1;
+repeat 10 {
+    print a;
+    let t = a + b;
+    a = b;
+    b = t;
+}
+if (a > 50) {
+    print 999;
+} else {
+    print 111;
+}
+`
+
+func main() {
+	parser, err := modpeg.New("lang.full", modpeg.WithModules(modules))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := parser.Parse("fib.lang", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("modules composed:", strings.Join(parser.Modules(), ", "))
+	fmt.Println("\noutput:")
+	interp := &interpreter{vars: map[string]int{}}
+	interp.run(tree)
+}
+
+// interpreter walks the generic AST. Node names come from the @Ctor
+// annotations above.
+type interpreter struct {
+	vars map[string]int
+}
+
+func (in *interpreter) run(v modpeg.Value) {
+	n, ok := v.(*modpeg.Node)
+	if !ok {
+		return
+	}
+	switch n.Name {
+	case "Program", "Block":
+		if list, ok := n.Child(0).(modpeg.List); ok {
+			for _, s := range list {
+				in.run(s)
+			}
+		}
+	case "Let", "Assign":
+		name := modpeg.TextOf(n.Child(0))
+		in.vars[name] = in.eval(n.Child(1))
+	case "Print":
+		fmt.Println(" ", in.eval(n.Child(0)))
+	case "If":
+		if in.eval(n.Child(0)) != 0 {
+			in.run(n.Child(1))
+		} else if els, ok := n.Child(2).(*modpeg.Node); ok {
+			in.run(els.Child(0))
+		}
+	case "While":
+		for in.eval(n.Child(0)) != 0 {
+			in.run(n.Child(1))
+		}
+	case "Repeat": // from lang.ext.repeat
+		times := in.eval(n.Child(0))
+		for i := 0; i < times; i++ {
+			in.run(n.Child(1))
+		}
+	}
+}
+
+func (in *interpreter) eval(v modpeg.Value) int {
+	n, ok := v.(*modpeg.Node)
+	if !ok {
+		return 0
+	}
+	switch n.Name {
+	case "Num":
+		x, _ := strconv.Atoi(modpeg.TextOf(n))
+		return x
+	case "Var":
+		return in.vars[modpeg.TextOf(n)]
+	case "Add":
+		return in.eval(n.Child(0)) + in.eval(n.Child(1))
+	case "Sub":
+		return in.eval(n.Child(0)) - in.eval(n.Child(1))
+	case "Mul":
+		return in.eval(n.Child(0)) * in.eval(n.Child(1))
+	case "Div":
+		return in.eval(n.Child(0)) / in.eval(n.Child(1))
+	case "Lt":
+		return boolToInt(in.eval(n.Child(0)) < in.eval(n.Child(1)))
+	case "Gt":
+		return boolToInt(in.eval(n.Child(0)) > in.eval(n.Child(1)))
+	case "Eq":
+		return boolToInt(in.eval(n.Child(0)) == in.eval(n.Child(1)))
+	}
+	return 0
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

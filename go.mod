@@ -1,0 +1,3 @@
+module modpeg
+
+go 1.22

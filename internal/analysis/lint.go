@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"modpeg/internal/peg"
+)
+
+// Lint reports non-fatal grammar smells — issues Check does not reject
+// but that usually indicate composition mistakes:
+//
+//   - productions unreachable from the root (dead weight unless the
+//     grammar is a library meant for further composition),
+//   - contradictory attribute combinations (memo+transient, void+text),
+//   - bindings inside void or text productions (their values are
+//     discarded),
+//   - alternatives whose first set is fully covered by an *earlier*
+//     alternative that can never fail shorter — detected for the simple
+//     literal-prefix case ("a" before "ab" makes "ab" unreachable),
+//   - public productions never referenced by the grammar (root aside).
+//
+// The returned messages are sorted and deterministic.
+func (a *Analysis) Lint() []string {
+	var warnings []string
+	warn := func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	g := a.Grammar
+
+	for _, name := range g.Order {
+		p := g.Prods[name]
+		if !a.Reachable[name] && name != g.Root {
+			warn("%s: unreachable from the root", name)
+		}
+		if p.Attrs.Has(peg.AttrMemo) && p.Attrs.Has(peg.AttrTransient) {
+			warn("%s: both memo and transient (memo wins)", name)
+		}
+		if p.Attrs.Has(peg.AttrVoid) && p.Attrs.Has(peg.AttrText) {
+			warn("%s: both void and text (text wins)", name)
+		}
+		if (p.Attrs.Has(peg.AttrVoid) || p.Attrs.Has(peg.AttrText)) && p.Choice != nil {
+			peg.Walk(p.Choice, func(e peg.Expr) {
+				if s, ok := e.(*peg.Seq); ok && s.HasBindings() && !s.IsSpliceSeq() {
+					warn("%s: bindings in a %s production are discarded",
+						name, p.Attrs&(peg.AttrVoid|peg.AttrText))
+				}
+			})
+		}
+		if p.Choice != nil {
+			a.lintShadowedAlternatives(name, p.Choice, warn)
+		}
+	}
+	sort.Strings(warnings)
+	return dedup(warnings)
+}
+
+// lintShadowedAlternatives flags the literal-prefix shadowing case: an
+// alternative that is a single literal L1 placed before an alternative
+// that is a single literal L2 with prefix L1 — L2 can never match.
+func (a *Analysis) lintShadowedAlternatives(prod string, c *peg.Choice, warn func(string, ...any)) {
+	lits := make([]string, len(c.Alts))
+	for i, alt := range c.Alts {
+		if len(alt.Items) == 1 {
+			if l, ok := alt.Items[0].Expr.(*peg.Literal); ok {
+				lits[i] = l.Text
+			}
+		}
+	}
+	for i, earlier := range lits {
+		if earlier == "" {
+			continue
+		}
+		for j := i + 1; j < len(lits); j++ {
+			later := lits[j]
+			if later == "" || len(later) <= len(earlier) {
+				continue
+			}
+			if later[:len(earlier)] == earlier {
+				warn("%s: alternative %q is unreachable (shadowed by earlier %q)",
+					prod, later, earlier)
+			}
+		}
+	}
+	// Recurse into nested choices.
+	for _, alt := range c.Alts {
+		for _, it := range alt.Items {
+			peg.Walk(it.Expr, func(e peg.Expr) {
+				if nc, ok := e.(*peg.Choice); ok && nc != c {
+					a.lintShadowedAlternatives(prod, nc, warn)
+				}
+			})
+		}
+	}
+}
+
+func dedup(in []string) []string {
+	out := in[:0]
+	var prev string
+	for i, s := range in {
+		if i == 0 || s != prev {
+			out = append(out, s)
+		}
+		prev = s
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+// Package ast defines the generic abstract-syntax-tree values produced by
+// modpeg parsers.
+//
+// Following the Rats! design, parsers built from modular grammars do not
+// produce grammar-specific struct types: they produce *generic* nodes whose
+// name is the defining production (or an explicit @Name constructor given in
+// the grammar) and whose children are the semantic values of the bound
+// sub-expressions. This is what makes grammar modules composable — an
+// extension module can introduce new constructs without anyone regenerating
+// or recompiling a typed AST.
+//
+// The value vocabulary is deliberately small:
+//
+//   - *Node:  an interior node with a constructor name and child values
+//   - *Token: a lexeme — a slice of the input with a span
+//   - List:   an ordered sequence of values (from repetitions)
+//   - nil:    the absence of a value (from failed options, void expressions)
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"modpeg/internal/text"
+)
+
+// Value is any semantic value a parser can produce: *Node, *Token, List, or
+// nil. String-typed values are also permitted for synthesized results.
+type Value interface{}
+
+// Node is a generic interior AST node. Name identifies the construct (for
+// example "Binary" or "IfStatement"); Children holds the semantic values of
+// the bound sub-expressions in grammar order.
+type Node struct {
+	Name     string
+	Children []Value
+	Span     text.Span
+}
+
+// NewNode builds a node from a constructor name and children.
+func NewNode(name string, children ...Value) *Node {
+	return &Node{Name: name, Children: children, Span: text.NoSpan}
+}
+
+// Child returns the i-th child, or nil when out of range.
+func (n *Node) Child(i int) Value {
+	if n == nil || i < 0 || i >= len(n.Children) {
+		return nil
+	}
+	return n.Children[i]
+}
+
+// NumChildren returns the number of children; safe on nil.
+func (n *Node) NumChildren() int {
+	if n == nil {
+		return 0
+	}
+	return len(n.Children)
+}
+
+// String renders the node as a compact s-expression, e.g.
+// (Binary (Token "1") (Token "+") (Token "2")).
+func (n *Node) String() string { return Format(n) }
+
+// Token is a terminal value: the matched input text together with where it
+// was matched.
+type Token struct {
+	Text string
+	Span text.Span
+}
+
+// NewToken builds a token value.
+func NewToken(txt string, sp text.Span) *Token {
+	return &Token{Text: txt, Span: sp}
+}
+
+func (t *Token) String() string { return fmt.Sprintf("%q", t.Text) }
+
+// List is an ordered sequence of semantic values, produced by repetitions
+// and by explicit list bindings in grammars.
+type List []Value
+
+func (l List) String() string { return Format(l) }
+
+// SpanOf extracts the source span from a value, when it carries one. Lists
+// yield the union of their elements' spans.
+func SpanOf(v Value) text.Span {
+	switch v := v.(type) {
+	case *Node:
+		if v == nil {
+			return text.NoSpan
+		}
+		return v.Span
+	case *Token:
+		if v == nil {
+			return text.NoSpan
+		}
+		return v.Span
+	case List:
+		sp := text.NoSpan
+		for _, e := range v {
+			sp = sp.Union(SpanOf(e))
+		}
+		return sp
+	default:
+		return text.NoSpan
+	}
+}
+
+// TextOf extracts the concatenated terminal text underneath a value. It is
+// the inverse-ish of parsing for token-bearing subtrees: tokens contribute
+// their text, nodes and lists contribute their children's text in order.
+func TextOf(v Value) string {
+	var b strings.Builder
+	appendText(&b, v)
+	return b.String()
+}
+
+func appendText(b *strings.Builder, v Value) {
+	switch v := v.(type) {
+	case *Token:
+		if v != nil {
+			b.WriteString(v.Text)
+		}
+	case *Node:
+		if v != nil {
+			for _, c := range v.Children {
+				appendText(b, c)
+			}
+		}
+	case List:
+		for _, c := range v {
+			appendText(b, c)
+		}
+	case string:
+		b.WriteString(v)
+	}
+}
+
+// Format renders any Value as a compact s-expression. nil renders as "()".
+func Format(v Value) string {
+	var b strings.Builder
+	format(&b, v)
+	return b.String()
+}
+
+func format(b *strings.Builder, v Value) {
+	switch v := v.(type) {
+	case nil:
+		b.WriteString("()")
+	case *Token:
+		if v == nil {
+			b.WriteString("()")
+			return
+		}
+		fmt.Fprintf(b, "%q", v.Text)
+	case *Node:
+		if v == nil {
+			b.WriteString("()")
+			return
+		}
+		b.WriteByte('(')
+		b.WriteString(v.Name)
+		for _, c := range v.Children {
+			b.WriteByte(' ')
+			format(b, c)
+		}
+		b.WriteByte(')')
+	case List:
+		b.WriteByte('[')
+		for i, c := range v {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			format(b, c)
+		}
+		b.WriteByte(']')
+	case string:
+		fmt.Fprintf(b, "%q", v)
+	default:
+		fmt.Fprintf(b, "%v", v)
+	}
+}
+
+// Indent renders a Value as an indented multi-line tree, one node per line,
+// suitable for CLI dumps of large parses.
+func Indent(v Value) string {
+	var b strings.Builder
+	indent(&b, v, 0)
+	return b.String()
+}
+
+func indent(b *strings.Builder, v Value, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch v := v.(type) {
+	case nil:
+		b.WriteString(pad + "()\n")
+	case *Token:
+		if v == nil {
+			b.WriteString(pad + "()\n")
+			return
+		}
+		fmt.Fprintf(b, "%s%q\n", pad, v.Text)
+	case *Node:
+		if v == nil {
+			b.WriteString(pad + "()\n")
+			return
+		}
+		if len(v.Children) == 0 {
+			fmt.Fprintf(b, "%s(%s)\n", pad, v.Name)
+			return
+		}
+		fmt.Fprintf(b, "%s(%s\n", pad, v.Name)
+		for _, c := range v.Children {
+			indent(b, c, depth+1)
+		}
+		b.WriteString(pad + ")\n")
+	case List:
+		if len(v) == 0 {
+			b.WriteString(pad + "[]\n")
+			return
+		}
+		b.WriteString(pad + "[\n")
+		for _, c := range v {
+			indent(b, c, depth+1)
+		}
+		b.WriteString(pad + "]\n")
+	default:
+		fmt.Fprintf(b, "%s%v\n", pad, v)
+	}
+}
+
+// Equal reports deep structural equality of two values, ignoring spans.
+// It is the comparison used by the engine-equivalence property tests: two
+// parse engines agree iff their results are Equal.
+func Equal(a, b Value) bool {
+	switch a := a.(type) {
+	case nil:
+		return b == nil
+	case *Token:
+		bt, ok := b.(*Token)
+		if !ok {
+			return false
+		}
+		if a == nil || bt == nil {
+			return a == nil && bt == nil
+		}
+		return a.Text == bt.Text
+	case *Node:
+		bn, ok := b.(*Node)
+		if !ok {
+			return false
+		}
+		if a == nil || bn == nil {
+			return a == nil && bn == nil
+		}
+		if a.Name != bn.Name || len(a.Children) != len(bn.Children) {
+			return false
+		}
+		for i := range a.Children {
+			if !Equal(a.Children[i], bn.Children[i]) {
+				return false
+			}
+		}
+		return true
+	case List:
+		bl, ok := b.(List)
+		if !ok || len(a) != len(bl) {
+			return false
+		}
+		for i := range a {
+			if !Equal(a[i], bl[i]) {
+				return false
+			}
+		}
+		return true
+	case string:
+		bs, ok := b.(string)
+		return ok && a == bs
+	default:
+		return a == b
+	}
+}
+
+// Count returns the total number of nodes, tokens, and list cells in the
+// tree — a size metric used by benchmarks and tests.
+func Count(v Value) int {
+	switch v := v.(type) {
+	case *Node:
+		if v == nil {
+			return 0
+		}
+		n := 1
+		for _, c := range v.Children {
+			n += Count(c)
+		}
+		return n
+	case *Token:
+		if v == nil {
+			return 0
+		}
+		return 1
+	case List:
+		n := 1
+		for _, c := range v {
+			n += Count(c)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// Walk applies fn to v and, recursively, to every descendant value in
+// depth-first pre-order. Walking stops within a subtree when fn returns
+// false for its root.
+func Walk(v Value, fn func(Value) bool) {
+	if !fn(v) {
+		return
+	}
+	switch v := v.(type) {
+	case *Node:
+		if v != nil {
+			for _, c := range v.Children {
+				Walk(c, fn)
+			}
+		}
+	case List:
+		for _, c := range v {
+			Walk(c, fn)
+		}
+	}
+}
+
+// Find returns the first node (pre-order) with the given constructor name,
+// or nil if none exists.
+func Find(v Value, name string) *Node {
+	var found *Node
+	Walk(v, func(v Value) bool {
+		if found != nil {
+			return false
+		}
+		if n, ok := v.(*Node); ok && n != nil && n.Name == name {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindAll returns every node (pre-order) with the given constructor name.
+func FindAll(v Value, name string) []*Node {
+	var out []*Node
+	Walk(v, func(v Value) bool {
+		if n, ok := v.(*Node); ok && n != nil && n.Name == name {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}

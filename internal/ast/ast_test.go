@@ -1,0 +1,369 @@
+package ast
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"modpeg/internal/text"
+)
+
+func tok(s string) *Token { return NewToken(s, text.NewSpan(0, text.Pos(len(s)))) }
+
+func sample() *Node {
+	return NewNode("Binary",
+		NewNode("Number", tok("1")),
+		tok("+"),
+		NewNode("Number", tok("2")),
+	)
+}
+
+func TestNodeAccessors(t *testing.T) {
+	n := sample()
+	if n.NumChildren() != 3 {
+		t.Fatalf("NumChildren = %d", n.NumChildren())
+	}
+	if n.Child(-1) != nil || n.Child(3) != nil {
+		t.Fatal("out-of-range Child must be nil")
+	}
+	if c, ok := n.Child(1).(*Token); !ok || c.Text != "+" {
+		t.Fatalf("Child(1) = %v", n.Child(1))
+	}
+	var nilNode *Node
+	if nilNode.NumChildren() != 0 || nilNode.Child(0) != nil {
+		t.Fatal("nil node accessors must be safe")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{nil, "()"},
+		{tok("x"), `"x"`},
+		{NewNode("Empty"), "(Empty)"},
+		{sample(), `(Binary (Number "1") "+" (Number "2"))`},
+		{List{tok("a"), nil, tok("b")}, `["a" () "b"]`},
+		{List{}, "[]"},
+		{"lit", `"lit"`},
+		{42, "42"},
+		{(*Token)(nil), "()"},
+		{(*Node)(nil), "()"},
+	}
+	for _, c := range cases {
+		if got := Format(c.v); got != c.want {
+			t.Errorf("Format(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if sample().String() != Format(sample()) {
+		t.Error("Node.String must match Format")
+	}
+	if (List{}).String() != "[]" {
+		t.Error("List.String must match Format")
+	}
+	if tok("q").String() != `"q"` {
+		t.Error("Token.String must quote")
+	}
+}
+
+func TestIndent(t *testing.T) {
+	got := Indent(sample())
+	want := "(Binary\n  (Number\n    \"1\"\n  )\n  \"+\"\n  (Number\n    \"2\"\n  )\n)\n"
+	if got != want {
+		t.Fatalf("Indent:\n%q\nwant\n%q", got, want)
+	}
+	if Indent(nil) != "()\n" {
+		t.Fatal("Indent(nil)")
+	}
+	if Indent(List{}) != "[]\n" {
+		t.Fatal("Indent(empty list)")
+	}
+	if !strings.Contains(Indent(List{tok("z")}), "\"z\"") {
+		t.Fatal("Indent list contents")
+	}
+	if Indent(7) != "7\n" {
+		t.Fatal("Indent scalar")
+	}
+	if Indent((*Node)(nil)) != "()\n" || Indent((*Token)(nil)) != "()\n" {
+		t.Fatal("Indent typed nils")
+	}
+	if Indent(NewNode("Leaf")) != "(Leaf)\n" {
+		t.Fatal("Indent leaf node")
+	}
+}
+
+func TestSpanOf(t *testing.T) {
+	n := NewNode("X")
+	n.Span = text.NewSpan(3, 9)
+	if SpanOf(n) != (text.NewSpan(3, 9)) {
+		t.Fatal("node span")
+	}
+	tk := NewToken("ab", text.NewSpan(5, 7))
+	if SpanOf(tk) != (text.NewSpan(5, 7)) {
+		t.Fatal("token span")
+	}
+	l := List{NewToken("a", text.NewSpan(2, 3)), NewToken("b", text.NewSpan(8, 9))}
+	if SpanOf(l) != (text.NewSpan(2, 9)) {
+		t.Fatal("list span union")
+	}
+	if SpanOf(nil).IsValid() || SpanOf("s").IsValid() {
+		t.Fatal("span of nil/string must be invalid")
+	}
+	if SpanOf((*Node)(nil)).IsValid() || SpanOf((*Token)(nil)).IsValid() {
+		t.Fatal("span of typed nil must be invalid")
+	}
+}
+
+func TestTextOf(t *testing.T) {
+	if got := TextOf(sample()); got != "1+2" {
+		t.Fatalf("TextOf = %q", got)
+	}
+	if got := TextOf(List{tok("a"), NewNode("N", tok("b")), "c"}); got != "abc" {
+		t.Fatalf("TextOf list = %q", got)
+	}
+	if TextOf(nil) != "" || TextOf((*Token)(nil)) != "" || TextOf((*Node)(nil)) != "" {
+		t.Fatal("TextOf nils must be empty")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := sample(), sample()
+	// Spans must be ignored.
+	b.Span = text.NewSpan(100, 200)
+	if !Equal(a, b) {
+		t.Fatal("structurally equal trees must be Equal")
+	}
+	b.Children[1] = tok("-")
+	if Equal(a, b) {
+		t.Fatal("different operator must differ")
+	}
+	if Equal(sample(), nil) || Equal(nil, sample()) || !Equal(nil, nil) {
+		t.Fatal("nil comparisons")
+	}
+	if Equal(NewNode("A"), NewNode("B")) {
+		t.Fatal("names must match")
+	}
+	if Equal(NewNode("A", tok("x")), NewNode("A")) {
+		t.Fatal("arity must match")
+	}
+	if !Equal(List{tok("x")}, List{tok("x")}) || Equal(List{tok("x")}, List{}) {
+		t.Fatal("list equality")
+	}
+	if Equal(List{tok("x")}, tok("x")) {
+		t.Fatal("kind mismatch")
+	}
+	if !Equal("s", "s") || Equal("s", "t") || Equal("s", 1) {
+		t.Fatal("string equality")
+	}
+	if !Equal(3, 3) || Equal(3, 4) {
+		t.Fatal("scalar equality")
+	}
+	if Equal(tok("x"), NewNode("x")) {
+		t.Fatal("token vs node")
+	}
+	if !Equal((*Node)(nil), (*Node)(nil)) || Equal((*Node)(nil), NewNode("A")) {
+		t.Fatal("typed nil node equality")
+	}
+	if !Equal((*Token)(nil), (*Token)(nil)) || Equal(tok("x"), (*Token)(nil)) {
+		t.Fatal("typed nil token equality")
+	}
+}
+
+func TestCount(t *testing.T) {
+	if got := Count(sample()); got != 6 {
+		t.Fatalf("Count = %d, want 6", got) // 3 nodes + 3 tokens
+	}
+	if Count(nil) != 0 || Count("x") != 0 {
+		t.Fatal("count of non-tree values must be 0")
+	}
+	if Count(List{tok("a")}) != 2 {
+		t.Fatal("list counts as a cell")
+	}
+	if Count((*Node)(nil)) != 0 || Count((*Token)(nil)) != 0 {
+		t.Fatal("typed nils count 0")
+	}
+}
+
+func TestWalkFind(t *testing.T) {
+	root := NewNode("Root", sample(), List{NewNode("Number", tok("9"))})
+	var names []string
+	Walk(root, func(v Value) bool {
+		if n, ok := v.(*Node); ok && n != nil {
+			names = append(names, n.Name)
+		}
+		return true
+	})
+	want := []string{"Root", "Binary", "Number", "Number", "Number"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Walk order = %v, want %v", names, want)
+	}
+
+	if f := Find(root, "Binary"); f == nil || f.Name != "Binary" {
+		t.Fatal("Find Binary")
+	}
+	if Find(root, "Missing") != nil {
+		t.Fatal("Find missing must be nil")
+	}
+	// Find returns the *first* in pre-order.
+	first := Find(root, "Number")
+	if TextOf(first) != "1" {
+		t.Fatalf("Find returned %v, want the first Number", first)
+	}
+	all := FindAll(root, "Number")
+	if len(all) != 3 {
+		t.Fatalf("FindAll = %d, want 3", len(all))
+	}
+	// Early-stop: fn returning false prunes the subtree.
+	var visited int
+	Walk(root, func(v Value) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Fatalf("pruned walk visited %d", visited)
+	}
+}
+
+// randomValue builds a random tree with the given budget; used by the
+// property tests below.
+func randomValue(r *rand.Rand, depth int) Value {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return nil
+		case 1:
+			return NewToken(string(rune('a'+r.Intn(26))), text.NewSpan(0, 1))
+		default:
+			return "s"
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return NewToken("t", text.NewSpan(0, 1))
+	case 1:
+		k := r.Intn(3)
+		l := make(List, k)
+		for i := range l {
+			l[i] = randomValue(r, depth-1)
+		}
+		return l
+	default:
+		k := r.Intn(3)
+		n := NewNode(string(rune('A' + r.Intn(4))))
+		for i := 0; i < k; i++ {
+			n.Children = append(n.Children, randomValue(r, depth-1))
+		}
+		return n
+	}
+}
+
+func TestEqualIsReflexiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		v := randomValue(rand.New(rand.NewSource(seed)), 4)
+		return Equal(v, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatDistinguishesUnequalProperty(t *testing.T) {
+	// Format is injective enough for trees over distinct constructors:
+	// if the formatted strings match, Equal must hold.
+	f := func(s1, s2 int64) bool {
+		v1 := randomValue(rand.New(rand.NewSource(s1)), 4)
+		v2 := randomValue(rand.New(rand.NewSource(s2)), 4)
+		if Format(v1) == Format(v2) {
+			return Equal(v1, v2)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMatchesWalkProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		v := randomValue(rand.New(rand.NewSource(seed)), 5)
+		walked := 0
+		Walk(v, func(u Value) bool {
+			switch u := u.(type) {
+			case *Node:
+				if u != nil {
+					walked++
+				}
+			case *Token:
+				if u != nil {
+					walked++
+				}
+			case List:
+				walked++
+			}
+			return true
+		})
+		return walked == Count(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToJSON(t *testing.T) {
+	n := sample()
+	n.Span = text.NewSpan(0, 3)
+	out, err := ToJSON(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if decoded["kind"] != "node" || decoded["name"] != "Binary" {
+		t.Fatalf("decoded = %v", decoded)
+	}
+	if decoded["start"].(float64) != 0 || decoded["end"].(float64) != 3 {
+		t.Fatalf("span = %v", decoded)
+	}
+	children := decoded["children"].([]any)
+	if len(children) != 3 {
+		t.Fatalf("children = %d", len(children))
+	}
+	tok := children[1].(map[string]any)
+	if tok["kind"] != "token" || tok["text"] != "+" {
+		t.Fatalf("token = %v", tok)
+	}
+
+	// nil marshals to null; lists and positional nil children round-trip.
+	out, err = ToJSON(List{nil, tok2("a"), "raw", 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l map[string]any
+	if err := json.Unmarshal([]byte(out), &l); err != nil {
+		t.Fatal(err)
+	}
+	items := l["items"].([]any)
+	if items[0] != nil {
+		t.Fatalf("nil item = %v", items[0])
+	}
+	if items[2].(map[string]any)["text"] != "raw" || items[3].(map[string]any)["text"] != "7" {
+		t.Fatalf("items = %v", items)
+	}
+	if s, err := ToJSON(nil); err != nil || s != "null" {
+		t.Fatalf("ToJSON(nil) = %q, %v", s, err)
+	}
+	if s, _ := ToJSON((*Node)(nil)); s != "null" {
+		t.Fatalf("ToJSON(typed nil) = %q", s)
+	}
+	if s, _ := ToJSON((*Token)(nil)); s != "null" {
+		t.Fatalf("ToJSON(typed nil token) = %q", s)
+	}
+}
+
+func tok2(s string) *Token { return NewToken(s, text.NoSpan) }

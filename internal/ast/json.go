@@ -1,0 +1,75 @@
+package ast
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonValue is the wire form of a Value:
+//
+//	{"kind":"node","name":"Add","start":0,"end":3,"children":[...]}
+//	{"kind":"token","text":"1","start":0,"end":1}
+//	{"kind":"list","items":[...]}
+//	null
+type jsonValue struct {
+	Kind     string       `json:"kind"`
+	Name     string       `json:"name,omitempty"`
+	Text     string       `json:"text,omitempty"`
+	Start    *int         `json:"start,omitempty"`
+	End      *int         `json:"end,omitempty"`
+	Children []*jsonValue `json:"children,omitempty"`
+	Items    []*jsonValue `json:"items,omitempty"`
+}
+
+// ToJSON renders a value as indented JSON for machine consumption (editor
+// tooling, test fixtures). Spans are included when valid.
+func ToJSON(v Value) (string, error) {
+	jv := toJSONValue(v)
+	data, err := json.MarshalIndent(jv, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("ast: %w", err)
+	}
+	return string(data), nil
+}
+
+func toJSONValue(v Value) *jsonValue {
+	switch v := v.(type) {
+	case nil:
+		return nil
+	case *Token:
+		if v == nil {
+			return nil
+		}
+		jv := &jsonValue{Kind: "token", Text: v.Text}
+		if v.Span.IsValid() {
+			s, e := int(v.Span.Start), int(v.Span.End)
+			jv.Start, jv.End = &s, &e
+		}
+		return jv
+	case *Node:
+		if v == nil {
+			return nil
+		}
+		jv := &jsonValue{Kind: "node", Name: v.Name}
+		if v.Span.IsValid() {
+			s, e := int(v.Span.Start), int(v.Span.End)
+			jv.Start, jv.End = &s, &e
+		}
+		// Children are kept positional: nil children marshal as JSON null.
+		jv.Children = make([]*jsonValue, len(v.Children))
+		for i, c := range v.Children {
+			jv.Children[i] = toJSONValue(c)
+		}
+		return jv
+	case List:
+		jv := &jsonValue{Kind: "list", Items: make([]*jsonValue, len(v))}
+		for i, c := range v {
+			jv.Items[i] = toJSONValue(c)
+		}
+		return jv
+	case string:
+		return &jsonValue{Kind: "token", Text: v}
+	default:
+		return &jsonValue{Kind: "token", Text: fmt.Sprint(v)}
+	}
+}

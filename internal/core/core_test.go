@@ -1,0 +1,704 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"modpeg/internal/peg"
+	"modpeg/internal/syntax"
+)
+
+// compose is a test helper composing modules given as name -> source.
+func compose(t *testing.T, top string, mods map[string]string) *peg.Grammar {
+	t.Helper()
+	g, err := Compose(top, MapResolver(mods))
+	if err != nil {
+		t.Fatalf("compose failed: %v", err)
+	}
+	return g
+}
+
+func composeErr(t *testing.T, top string, mods map[string]string) string {
+	t.Helper()
+	_, err := Compose(top, MapResolver(mods))
+	if err == nil {
+		t.Fatal("compose must fail")
+	}
+	return err.Error()
+}
+
+func TestComposeSingleModule(t *testing.T) {
+	g := compose(t, "m", map[string]string{
+		"m": `
+module m;
+public S = A B ;
+A = "a" ;
+B = "b" ;
+`,
+	})
+	if g.Root != "m.S" {
+		t.Fatalf("root = %q", g.Root)
+	}
+	if len(g.Order) != 3 {
+		t.Fatalf("productions = %v", g.Order)
+	}
+	// References must be fully resolved.
+	s := g.Prods["m.S"]
+	refs := collectRefs(s)
+	if refs[0] != "m.A" || refs[1] != "m.B" {
+		t.Fatalf("refs = %v", refs)
+	}
+}
+
+func collectRefs(p *peg.Production) []string {
+	var out []string
+	peg.Walk(p.Choice, func(e peg.Expr) {
+		if nt, ok := e.(*peg.NonTerm); ok {
+			out = append(out, nt.Name)
+		}
+	})
+	return out
+}
+
+func TestComposeRootOption(t *testing.T) {
+	g := compose(t, "m", map[string]string{
+		"m": `
+module m;
+option root = T;
+public S = "s" ;
+public T = "t" ;
+`,
+	})
+	if g.Root != "m.T" {
+		t.Fatalf("root = %q", g.Root)
+	}
+}
+
+func TestComposeImports(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import lib;
+public S = Num "+" Num ;
+`,
+		"lib": `
+module lib;
+public Num = [0-9]+ ;
+Helper = "h" ;
+`,
+	}
+	g := compose(t, "top", mods)
+	if g.Root != "top.S" {
+		t.Fatalf("root = %q", g.Root)
+	}
+	refs := collectRefs(g.Prods["top.S"])
+	if refs[0] != "lib.Num" || refs[1] != "lib.Num" {
+		t.Fatalf("refs = %v", refs)
+	}
+	if len(g.ModuleNames) != 2 || g.ModuleNames[0] != "lib" || g.ModuleNames[1] != "top" {
+		t.Fatalf("modules = %v", g.ModuleNames)
+	}
+}
+
+func TestComposeQualifiedReference(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import a.lex;
+public S = a.lex.Num ;
+`,
+		"a.lex": `
+module a.lex;
+public Num = [0-9]+ ;
+`,
+	}
+	g := compose(t, "top", mods)
+	if refs := collectRefs(g.Prods["top.S"]); refs[0] != "a.lex.Num" {
+		t.Fatalf("refs = %v", refs)
+	}
+}
+
+func TestComposePrivateNotVisible(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import lib;
+public S = Helper ;
+`,
+		"lib": `
+module lib;
+public Num = [0-9] ;
+Helper = "h" ;
+`,
+	}
+	msg := composeErr(t, "top", mods)
+	if !strings.Contains(msg, "unresolved reference \"Helper\"") {
+		t.Fatalf("error = %q", msg)
+	}
+	// Qualified access to a private production is also rejected.
+	mods["top"] = `
+module top;
+import lib;
+public S = lib.Helper ;
+`
+	msg = composeErr(t, "top", mods)
+	if !strings.Contains(msg, "not public") {
+		t.Fatalf("error = %q", msg)
+	}
+}
+
+func TestComposeAmbiguousReference(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import a;
+import b;
+public S = Num ;
+`,
+		"a": "module a;\npublic Num = [0-9] ;\n",
+		"b": "module b;\npublic Num = [0-9] ;\n",
+	}
+	msg := composeErr(t, "top", mods)
+	if !strings.Contains(msg, "ambiguous reference \"Num\"") ||
+		!strings.Contains(msg, "a.Num") || !strings.Contains(msg, "b.Num") {
+		t.Fatalf("error = %q", msg)
+	}
+}
+
+func TestComposeOverride(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import base;
+import ext;
+public S = Num ;
+`,
+		"base": "module base;\npublic Num = [0-9]+ ;\n",
+		"ext": `
+module ext;
+modify base;
+Num := [0-9]+ ("." [0-9]+)? ;
+`,
+	}
+	g := compose(t, "top", mods)
+	num := g.Prods["base.Num"]
+	if num == nil {
+		t.Fatal("base.Num missing")
+	}
+	if body := peg.FormatExpr(num.Choice); !strings.Contains(body, `"."`) {
+		t.Fatalf("override did not take: %s", body)
+	}
+}
+
+func TestComposeAddRemoveAlternatives(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import base;
+import ext;
+public S = Sum ;
+`,
+		"base": `
+module base;
+public Sum =
+    <add> Atom "+" Sum
+  / <sub> Atom "-" Sum
+  / <atom> Atom
+  ;
+public Atom = [0-9]+ ;
+`,
+		"ext": `
+module ext;
+modify base;
+Sum += <mul> Atom "*" Sum after <add> ;
+Sum += <pow> Atom "^" Sum before <add> ;
+Sum += <last> Atom "!" ;
+Sum -= sub ;
+`,
+	}
+	g := compose(t, "top", mods)
+	sum := g.Prods["base.Sum"]
+	var labels []string
+	for _, a := range sum.Choice.Alts {
+		labels = append(labels, a.Label)
+	}
+	want := "pow,add,mul,atom,last"
+	if got := strings.Join(labels, ","); got != want {
+		t.Fatalf("labels = %s, want %s", got, want)
+	}
+	// Added alternatives must resolve in the extension's scope (Atom is
+	// public in base, which ext modifies).
+	refs := collectRefs(sum)
+	for _, r := range refs {
+		if !strings.HasPrefix(r, "base.") {
+			t.Fatalf("unresolved ref %q", r)
+		}
+	}
+}
+
+func TestComposeModificationIntroducingHelpers(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import base;
+import ext;
+public S = Sum ;
+`,
+		"base": `
+module base;
+public Sum = <atom> Atom ;
+public Atom = [0-9]+ ;
+`,
+		"ext": `
+module ext;
+modify base;
+Sum += <call> Atom "(" Args ")" before <atom> ;
+Args = Atom ("," Atom)* ;
+`,
+	}
+	g := compose(t, "top", mods)
+	sum := g.Prods["base.Sum"]
+	refs := collectRefs(sum)
+	found := false
+	for _, r := range refs {
+		if r == "ext.Args" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("helper reference not resolved into ext namespace: %v", refs)
+	}
+	if g.Prods["ext.Args"] == nil {
+		t.Fatal("helper production missing from grammar")
+	}
+}
+
+func TestComposeTwoIndependentExtensions(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import base;
+import ext1;
+import ext2;
+public S = Sum ;
+`,
+		"base": `
+module base;
+public Sum = <atom> Atom ;
+public Atom = [0-9]+ ;
+`,
+		"ext1": `
+module ext1;
+modify base;
+Sum += <add> Atom "+" Sum before <atom> ;
+`,
+		"ext2": `
+module ext2;
+modify base;
+Sum += <mul> Atom "*" Sum before <atom> ;
+`,
+	}
+	g := compose(t, "top", mods)
+	sum := g.Prods["base.Sum"]
+	var labels []string
+	for _, a := range sum.Choice.Alts {
+		labels = append(labels, a.Label)
+	}
+	// ext1 composes before ext2 (dependency/clause order), both anchored
+	// before <atom>.
+	if got := strings.Join(labels, ","); got != "add,mul,atom" {
+		t.Fatalf("labels = %s", got)
+	}
+}
+
+func TestComposeParameterizedModule(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import lex;
+import expr(lex.Space);
+public S = Sum ;
+`,
+		"lex": `
+module lex;
+public Space = " "* ;
+`,
+		"expr": `
+module expr(Space);
+public Sum = Atom ("+" Space Atom)* ;
+public Atom = [0-9]+ Space ;
+`,
+	}
+	g := compose(t, "top", mods)
+	inst := "expr<lex.Space>"
+	if g.Prods[inst+".Sum"] == nil || g.Prods[inst+".Atom"] == nil {
+		t.Fatalf("instance productions missing: %v", g.Order)
+	}
+	refs := collectRefs(g.Prods[inst+".Atom"])
+	if len(refs) != 1 || refs[0] != "lex.Space" {
+		t.Fatalf("param substitution failed: %v", refs)
+	}
+}
+
+func TestComposeParameterizedTwoInstances(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import lexa;
+import lexb;
+import list(lexa.Sep) ;
+import list(lexb.Sep) ;
+public S = list.Items ;
+`,
+		"lexa": "module lexa;\npublic Sep = \",\" ;\n",
+		"lexb": "module lexb;\npublic Sep = \";\" ;\n",
+		"list": `
+module list(Sep);
+public Items = [0-9] (Sep [0-9])* ;
+`,
+	}
+	// Unqualified/qualified references to two instances are ambiguous.
+	msg := composeErr(t, "top", mods)
+	if !strings.Contains(msg, "ambiguous") {
+		t.Fatalf("error = %q", msg)
+	}
+	// But both instances exist if referenced unambiguously from distinct
+	// modules.
+	mods["top"] = `
+module top;
+import wa;
+import wb;
+public S = wa.A wb.B ;
+`
+	mods["wa"] = "module wa;\nimport lexa;\nimport list(lexa.Sep);\npublic A = Items ;\n"
+	mods["wb"] = "module wb;\nimport lexb;\nimport list(lexb.Sep);\npublic B = Items ;\n"
+	g := compose(t, "top", mods)
+	if g.Prods["list<lexa.Sep>.Items"] == nil || g.Prods["list<lexb.Sep>.Items"] == nil {
+		t.Fatalf("instances missing: %v", g.Order)
+	}
+}
+
+func TestComposeSharedInstanceIsDeduped(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import a;
+import b;
+public S = a.X b.Y ;
+`,
+		"a":   "module a;\nimport lib;\npublic X = Num ;\n",
+		"b":   "module b;\nimport lib;\npublic Y = Num ;\n",
+		"lib": "module lib;\npublic Num = [0-9] ;\n",
+	}
+	g := compose(t, "top", mods)
+	count := 0
+	for _, m := range g.ModuleNames {
+		if m == "lib" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("lib composed %d times", count)
+	}
+}
+
+func TestComposeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		top  string
+		mods map[string]string
+		frag string
+	}{
+		{
+			"unknown module", "top",
+			map[string]string{"top": "module top;\nimport nope;\npublic S = \"x\" ;\n"},
+			"cannot load module \"nope\"",
+		},
+		{
+			"cycle", "a",
+			map[string]string{
+				"a": "module a;\nimport b;\npublic S = \"x\" ;\n",
+				"b": "module b;\nimport a;\npublic T = \"y\" ;\n",
+			},
+			"cycle",
+		},
+		{
+			"self cycle", "a",
+			map[string]string{"a": "module a;\nimport a;\npublic S = \"x\" ;\n"},
+			"cycle",
+		},
+		{
+			"wrong module name", "top",
+			map[string]string{"top": "module other;\npublic S = \"x\" ;\n"},
+			"declares name",
+		},
+		{
+			"wrong arity", "top",
+			map[string]string{
+				"top": "module top;\nimport p(a.X, a.Y);\npublic S = \"x\" ;\n",
+				"p":   "module p(One);\npublic Q = One ;\n",
+				"a":   "module a;\npublic X = \"x\" ;\npublic Y = \"y\" ;\n",
+			},
+			"expects 1 argument",
+		},
+		{
+			"bad argument", "top",
+			map[string]string{
+				"top": "module top;\nimport p(lowercase);\npublic S = \"x\" ;\n",
+				"p":   "module p(One);\npublic Q = One ;\n",
+			},
+			"must be a module parameter or a qualified",
+		},
+		{
+			"duplicate production", "top",
+			map[string]string{"top": "module top;\npublic S = \"a\" ;\nS = \"b\" ;\n"},
+			"duplicate production",
+		},
+		{
+			"unresolved", "top",
+			map[string]string{"top": "module top;\npublic S = Missing ;\n"},
+			"unresolved reference",
+		},
+		{
+			"unresolved qualified", "top",
+			map[string]string{"top": "module top;\npublic S = nowhere.Missing ;\n"},
+			"unresolved qualified reference",
+		},
+		{
+			"no root", "top",
+			map[string]string{"top": "module top;\nS = \"x\" ;\n"},
+			"no public production",
+		},
+		{
+			"bad root option", "top",
+			map[string]string{"top": "module top;\noption root = Nope;\npublic S = \"x\" ;\n"},
+			"option root",
+		},
+		{
+			"modification without modify", "top",
+			map[string]string{
+				"top":  "module top;\nimport base;\nimport ext;\npublic S = Num ;\n",
+				"base": "module base;\npublic Num = [0-9] ;\n",
+				"ext":  "module ext;\nimport base;\nNum := [0-9]+ ;\n",
+			},
+			"requires a 'modify' dependency",
+		},
+		{
+			"modify target missing", "top",
+			map[string]string{
+				"top":  "module top;\nimport base;\nimport ext;\npublic S = Num ;\n",
+				"base": "module base;\npublic Num = [0-9] ;\n",
+				"ext":  "module ext;\nmodify base;\nNope := [0-9]+ ;\n",
+			},
+			"no modified module defines",
+		},
+		{
+			"bad anchor", "top",
+			map[string]string{
+				"top":  "module top;\nimport base;\nimport ext;\npublic S = Num ;\n",
+				"base": "module base;\npublic Num = <d> [0-9] ;\n",
+				"ext":  "module ext;\nmodify base;\nNum += \"x\" after <zz> ;\n",
+			},
+			"anchor alternative <zz> not found",
+		},
+		{
+			"bad removal", "top",
+			map[string]string{
+				"top":  "module top;\nimport base;\nimport ext;\npublic S = Num ;\n",
+				"base": "module base;\npublic Num = <d> [0-9] ;\n",
+				"ext":  "module ext;\nmodify base;\nNum -= zz ;\n",
+			},
+			"alternative <zz> not found",
+		},
+		{
+			"empty removal", "top",
+			map[string]string{
+				"top":  "module top;\nimport base;\nimport ext;\npublic S = Num ;\n",
+				"base": "module base;\npublic Num = <d> [0-9] ;\n",
+				"ext":  "module ext;\nmodify base;\nNum -= d ;\n",
+			},
+			"without alternatives",
+		},
+		{
+			"attrs on +=", "top",
+			map[string]string{
+				"top":  "module top;\nimport base;\nimport ext;\npublic S = Num ;\n",
+				"base": "module base;\npublic Num = <d> [0-9] ;\n",
+				"ext":  "module ext;\nmodify base;\ntransient Num += \"x\" ;\n",
+			},
+			"attributes are not allowed",
+		},
+		{
+			"duplicate labels", "top",
+			map[string]string{
+				"top": "module top;\npublic S = <a> \"x\" / <a> \"y\" ;\n",
+			},
+			"duplicate alternative label",
+		},
+		{
+			"parse error in dep", "top",
+			map[string]string{
+				"top": "module top;\nimport bad;\npublic S = \"x\" ;\n",
+				"bad": "module bad;\nthis is not valid",
+			},
+			"unknown production attribute",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			msg := composeErr(t, c.top, c.mods)
+			if !strings.Contains(msg, c.frag) {
+				t.Fatalf("error = %q, want fragment %q", msg, c.frag)
+			}
+		})
+	}
+}
+
+func TestComposeOverrideKeepsOrReplacesAttrs(t *testing.T) {
+	mods := map[string]string{
+		"top":  "module top;\nimport base;\nimport ext;\npublic S = Num ;\n",
+		"base": "module base;\npublic text Num = [0-9]+ ;\n",
+		"ext":  "module ext;\nmodify base;\nNum := [0-9a-f]+ ;\n",
+	}
+	g := compose(t, "top", mods)
+	if !g.Prods["base.Num"].Attrs.Has(peg.AttrText) {
+		t.Fatal("override without attrs must keep target attrs")
+	}
+	mods["ext"] = "module ext;\nmodify base;\npublic void Num := [0-9a-f]+ ;\n"
+	g = compose(t, "top", mods)
+	if a := g.Prods["base.Num"].Attrs; !a.Has(peg.AttrVoid|peg.AttrPublic) || a.Has(peg.AttrText) {
+		t.Fatalf("override with attrs must replace: %v", a)
+	}
+}
+
+func TestComposeModules(t *testing.T) {
+	m1, err := parseModule("module a;\npublic S = B ;\nB = \"b\" ;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ComposeModules([]*peg.Module{m1}, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root != "a.S" {
+		t.Fatalf("root = %q", g.Root)
+	}
+	if _, err := ComposeModules([]*peg.Module{m1}, "missing"); err == nil {
+		t.Fatal("unknown top module must fail")
+	}
+}
+
+func parseModule(src string) (*peg.Module, error) {
+	return syntax.ParseString("test.mpeg", src)
+}
+
+func TestDirResolver(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "m.mpeg"),
+		[]byte("module m;\npublic S = \"x\" ;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Compose("m", DirResolver{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root != "m.S" {
+		t.Fatalf("root = %q", g.Root)
+	}
+	if _, err := (DirResolver{Dir: dir}).Resolve("missing"); err == nil {
+		t.Fatal("missing module must fail")
+	}
+}
+
+func TestMultiResolver(t *testing.T) {
+	r := MultiResolver{
+		MapResolver{"a": "module a;\npublic S = \"x\" ;\n"},
+		MapResolver{"a": "module a;\npublic S = \"OVERRIDDEN\" ;\n", "b": "module b;\npublic T = \"y\" ;\n"},
+	}
+	src, err := r.Resolve("a")
+	if err != nil || !strings.Contains(src.Content(), `"x"`) {
+		t.Fatalf("first resolver must win: %v", err)
+	}
+	if _, err := r.Resolve("b"); err != nil {
+		t.Fatalf("fallback resolver: %v", err)
+	}
+	if _, err := r.Resolve("zz"); err == nil {
+		t.Fatal("unknown module must fail")
+	}
+	if _, err := (MultiResolver{}).Resolve("zz"); err == nil {
+		t.Fatal("empty resolver must fail")
+	}
+}
+
+func TestComposeModifyParameterizedInstance(t *testing.T) {
+	mods := map[string]string{
+		"top": `
+module top;
+import lex;
+import list(lex.Comma);
+import ext;
+public S = Items ;
+`,
+		"lex":  "module lex;\npublic Comma = \",\" ;\npublic Semi = \";\" ;\n",
+		"list": "module list(Sep);\npublic Items = <digits> [0-9] (Sep [0-9])* ;\n",
+		"ext": `
+module ext;
+modify list(lex.Comma);
+import lex;
+Items += <alpha> [a-z] (Comma [a-z])* before <digits> ;
+`,
+	}
+	g := compose(t, "top", mods)
+	items := g.Prods["list<lex.Comma>.Items"]
+	if items == nil {
+		t.Fatalf("instance missing: %v", g.Order)
+	}
+	if len(items.Choice.Alts) != 2 || items.Choice.Alts[0].Label != "alpha" {
+		t.Fatalf("alts = %v", peg.FormatExpr(items.Choice))
+	}
+	// Every reference is fully resolved (no bare parameter names survive).
+	refs := collectRefs(items)
+	for _, r := range refs {
+		if !strings.Contains(r, ".") {
+			t.Fatalf("unresolved reference %q", r)
+		}
+	}
+}
+
+func TestComposeModifyIsWhiteBox(t *testing.T) {
+	mods := map[string]string{
+		"top":  "module top;\nimport base;\nimport ext;\npublic S = Entry ;\n",
+		"base": "module base;\npublic Entry = Hidden ;\nHidden = <h> \"h\" ;\n",
+		"ext":  "module ext;\nmodify base;\nHidden += <x> \"x\" ;\n",
+	}
+	g := compose(t, "top", mods)
+	if len(g.Prods["base.Hidden"].Choice.Alts) != 2 {
+		t.Fatal("modification of private production failed")
+	}
+	// But plain imports still cannot see private productions.
+	mods["ext"] = "module ext;\nimport base;\npublic Other = Hidden ;\n"
+	mods["top"] = "module top;\nimport base;\nimport ext;\npublic S = Entry Other ;\n"
+	if msg := composeErr(t, "top", mods); !strings.Contains(msg, "unresolved reference") {
+		t.Fatalf("error = %q", msg)
+	}
+}
+
+func TestComposeDeterministicOrder(t *testing.T) {
+	mods := map[string]string{
+		"top": "module top;\nimport a;\nimport b;\npublic S = a.X b.Y ;\n",
+		"a":   "module a;\npublic X = \"x\" ;\n",
+		"b":   "module b;\npublic Y = \"y\" ;\n",
+	}
+	g1 := compose(t, "top", mods)
+	for i := 0; i < 5; i++ {
+		g2 := compose(t, "top", mods)
+		if !peg.EqualGrammar(g1, g2) {
+			t.Fatal("composition is not deterministic")
+		}
+		if strings.Join(g1.Order, ",") != strings.Join(g2.Order, ",") {
+			t.Fatal("production order is not deterministic")
+		}
+	}
+}

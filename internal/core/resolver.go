@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"modpeg/internal/text"
+)
+
+// DirResolver loads module sources from files named "<module>.mpeg" inside
+// a directory, e.g. module "calc.base" from "<dir>/calc.base.mpeg".
+type DirResolver struct {
+	Dir string
+}
+
+// Resolve implements Resolver.
+func (d DirResolver) Resolve(name string) (*text.Source, error) {
+	path := filepath.Join(d.Dir, name+".mpeg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: module %q: %w", name, err)
+	}
+	return text.NewSource(path, string(data)), nil
+}
+
+// MultiResolver tries each resolver in order, returning the first success.
+// It lets the CLI overlay user module directories on top of the embedded
+// standard grammars.
+type MultiResolver []Resolver
+
+// Resolve implements Resolver.
+func (m MultiResolver) Resolve(name string) (*text.Source, error) {
+	var firstErr error
+	for _, r := range m {
+		src, err := r.Resolve(name)
+		if err == nil {
+			return src, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("core: unknown module %q", name)
+	}
+	return nil, firstErr
+}

@@ -1,0 +1,539 @@
+// Package experiments reproduces the paper's evaluation tables and
+// figures as programmatic measurements, independent of the testing.B
+// framework, so the CLI can print them and EXPERIMENTS.md can record
+// them. Each function corresponds to one entry of the experiment index in
+// DESIGN.md.
+//
+// Numbers are wall-clock measurements on synthetic corpora (see
+// internal/workload); the paper's absolute numbers came from a 2006
+// JVM testbed, so only the *shapes* — who wins, by what factor, where the
+// crossovers are — are comparable.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"modpeg/internal/core"
+	"modpeg/internal/grammars"
+	"modpeg/internal/peg"
+	"modpeg/internal/syntax"
+	"modpeg/internal/text"
+	"modpeg/internal/transform"
+	"modpeg/internal/vm"
+	"modpeg/internal/workload"
+)
+
+// Options tunes measurement effort.
+type Options struct {
+	// InputKB is the corpus size for throughput experiments.
+	InputKB int
+	// MinTime is the minimum measurement window per configuration.
+	MinTime time.Duration
+}
+
+// Defaults returns the options used for the recorded results.
+func Defaults() Options {
+	return Options{InputKB: 40, MinTime: 300 * time.Millisecond}
+}
+
+func (o Options) normalized() Options {
+	if o.InputKB <= 0 {
+		o.InputKB = 40
+	}
+	if o.MinTime <= 0 {
+		o.MinTime = 300 * time.Millisecond
+	}
+	return o
+}
+
+// Table holds one rendered experiment.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment.
+func All(opts Options) []Table {
+	return []Table{
+		Table1(), Table2(opts), Table3(opts), Table4(opts),
+		Fig1(opts), Fig2(opts), Fig3(opts),
+	}
+}
+
+// ByID runs one experiment by its identifier ("table1" ... "fig3").
+func ByID(id string, opts Options) (Table, error) {
+	switch strings.ToLower(id) {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		return Table2(opts), nil
+	case "table3":
+		return Table3(opts), nil
+	case "table4":
+		return Table4(opts), nil
+	case "fig1":
+		return Fig1(opts), nil
+	case "fig2":
+		return Fig2(opts), nil
+	case "fig3":
+		return Fig3(opts), nil
+	}
+	return Table{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// ------------------------------------------------------------- measuring
+
+// measure runs fn repeatedly for at least minTime and returns the mean
+// duration of one run.
+func measure(minTime time.Duration, fn func()) time.Duration {
+	// Warm up once (memo tables, caches).
+	fn()
+	var n int
+	start := time.Now()
+	for time.Since(start) < minTime {
+		fn()
+		n++
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+func mbPerSec(bytes int, d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", float64(bytes)/d.Seconds()/1e6)
+}
+
+func buildProgram(top string, topts transform.Options, eopts vm.Options) (*vm.Program, error) {
+	g, err := grammars.Compose(top)
+	if err != nil {
+		return nil, err
+	}
+	tg, _, err := transform.Apply(g, topts)
+	if err != nil {
+		return nil, err
+	}
+	return vm.Compile(tg, eopts)
+}
+
+// ---------------------------------------------------------------- table1
+
+// Table1 reports grammar modularity statistics for each bundled module —
+// the analogue of the paper's per-module grammar size table.
+func Table1() Table {
+	t := Table{
+		ID:     "Table 1",
+		Title:  "grammar modularity statistics (per bundled module)",
+		Header: []string{"module", "imports", "modifies", "prods", "overrides", "adds", "removes", "alts"},
+	}
+	resolver := grammars.Resolver()
+	for _, name := range grammars.ModuleNames() {
+		src, err := resolver.Resolve(name)
+		if err != nil {
+			continue
+		}
+		m, err := syntax.Parse(src)
+		if err != nil {
+			continue
+		}
+		s := peg.StatsOf(m)
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprint(s.Imports), fmt.Sprint(s.Modifies),
+			fmt.Sprint(s.Productions), fmt.Sprint(s.Overrides),
+			fmt.Sprint(s.Additions), fmt.Sprint(s.Removals),
+			fmt.Sprint(s.Alternatives),
+		})
+	}
+	for _, top := range grammars.TopModules() {
+		g, err := grammars.Compose(top)
+		if err != nil {
+			continue
+		}
+		s := peg.StatsOfGrammar(g)
+		tg, _, err := transform.Apply(g, transform.Defaults())
+		if err != nil {
+			continue
+		}
+		so := peg.StatsOfGrammar(tg)
+		t.Rows = append(t.Rows, []string{
+			"composed:" + top,
+			fmt.Sprint(s.Modules), "-",
+			fmt.Sprint(s.Productions), "-", "-", "-",
+			fmt.Sprint(s.Alternatives),
+		})
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: %d productions after optimization, %d transient",
+			top, so.Productions, so.Transient))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- table2
+
+// ablationConfigs is shared between Table2 and the bench harness.
+func ablationConfigs() []struct {
+	Name  string
+	Topts transform.Options
+	Eopts vm.Options
+} {
+	all := transform.Defaults()
+	mod := func(f func(*transform.Options)) transform.Options {
+		o := all
+		f(&o)
+		return o
+	}
+	engine := func(f func(*vm.Options)) vm.Options {
+		o := vm.Optimized()
+		f(&o)
+		return o
+	}
+	return []struct {
+		Name  string
+		Topts transform.Options
+		Eopts vm.Options
+	}{
+		{"all-on", all, vm.Optimized()},
+		{"no-transient-marking", mod(func(o *transform.Options) { o.MarkTransient = false }), vm.Optimized()},
+		{"no-inlining", mod(func(o *transform.Options) { o.Inline = false }), vm.Optimized()},
+		{"no-folding", mod(func(o *transform.Options) { o.FoldPrefixes = false; o.MergeClasses = false }), vm.Optimized()},
+		{"no-dead-code", mod(func(o *transform.Options) { o.DeadCode = false }), vm.Optimized()},
+		{"no-dispatch", all, engine(func(o *vm.Options) { o.Dispatch = false })},
+		{"map-memo (no chunks)", all, engine(func(o *vm.Options) { o.ChunkedMemo = false })},
+		{"expanded-repetitions", mod(func(o *transform.Options) { o.ExpandRepetitions = true }), vm.Optimized()},
+		{"all-off (naive packrat)", transform.Baseline(), vm.NaivePackrat()},
+	}
+}
+
+// Table2 reports the optimization-impact ablation on the Java-subset
+// corpus: throughput and memo footprint with each optimization disabled
+// in turn.
+func Table2(opts Options) Table {
+	opts = opts.normalized()
+	input := workload.JavaProgram(workload.Config{Seed: 42, Size: opts.InputKB * 1024})
+	src := text.NewSource("bench", input)
+	t := Table{
+		ID:     "Table 2",
+		Title:  fmt.Sprintf("optimization ablation, java.core corpus (%d KB)", len(input)/1024),
+		Header: []string{"configuration", "MB/s", "rel-time", "memoKB", "memo stores", "calls"},
+	}
+	var base time.Duration
+	for _, c := range ablationConfigs() {
+		prog, err := buildProgram(grammars.JavaCore, c.Topts, c.Eopts)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %v", c.Name, err))
+			continue
+		}
+		_, stats, err := prog.Parse(src)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %v", c.Name, err))
+			continue
+		}
+		d := measure(opts.MinTime, func() { prog.Parse(src) })
+		if base == 0 {
+			base = d
+		}
+		t.Rows = append(t.Rows, []string{
+			c.Name,
+			mbPerSec(len(input), d),
+			fmt.Sprintf("%.2fx", float64(d)/float64(base)),
+			fmt.Sprint(stats.MemoBytes / 1024),
+			fmt.Sprint(stats.MemoStores),
+			fmt.Sprint(stats.Calls),
+		})
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- table3
+
+// Table3 compares the engines across the realistic corpora.
+func Table3(opts Options) Table {
+	opts = opts.normalized()
+	t := Table{
+		ID:     "Table 3",
+		Title:  fmt.Sprintf("engine comparison (%d KB corpora)", opts.InputKB),
+		Header: []string{"corpus", "engine", "MB/s", "rel-time", "memoKB"},
+	}
+	corpora := []struct {
+		lang  string
+		top   string
+		input string
+	}{
+		{"java", grammars.JavaCore, workload.JavaProgram(workload.Config{Seed: 7, Size: opts.InputKB * 1024})},
+		{"c", grammars.CCore, workload.CProgram(workload.Config{Seed: 7, Size: opts.InputKB * 1024})},
+		{"json", grammars.JSON, workload.JSONDoc(workload.Config{Seed: 7, Size: opts.InputKB * 1024})},
+		{"calc", grammars.CalcCore, workload.Expression(workload.Config{Seed: 7, Size: opts.InputKB * 1024})},
+	}
+	engines := []struct {
+		name  string
+		topts transform.Options
+		eopts vm.Options
+	}{
+		{"backtracking", transform.Defaults(), vm.Backtracking()},
+		{"naive-packrat", transform.Baseline(), vm.NaivePackrat()},
+		{"optimized", transform.Defaults(), vm.Optimized()},
+	}
+	for _, c := range corpora {
+		src := text.NewSource("bench", c.input)
+		for _, e := range engines {
+			prog, err := buildProgram(c.top, e.topts, e.eopts)
+			if err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s/%s: %v", c.lang, e.name, err))
+				continue
+			}
+			_, stats, err := prog.Parse(src)
+			if err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s/%s: %v", c.lang, e.name, err))
+				continue
+			}
+			d := measure(opts.MinTime, func() { prog.Parse(src) })
+			t.Rows = append(t.Rows, []string{
+				c.lang, e.name,
+				mbPerSec(len(c.input), d),
+				"", // filled below once the optimized time is known
+				fmt.Sprint(stats.MemoBytes / 1024),
+			})
+			// Store duration in the rel-time cell temporarily.
+			t.Rows[len(t.Rows)-1][3] = fmt.Sprint(int64(d))
+		}
+		// Normalize rel-time to the optimized engine of this corpus.
+		var opt int64
+		for _, row := range t.Rows {
+			if row[0] == c.lang && row[1] == "optimized" {
+				fmt.Sscan(row[3], &opt)
+			}
+		}
+		for _, row := range t.Rows {
+			if row[0] == c.lang {
+				var d int64
+				fmt.Sscan(row[3], &d)
+				row[3] = fmt.Sprintf("%.2fx", float64(d)/float64(opt))
+			}
+		}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- table4
+
+// Table4 measures what modular composition costs: base vs extended
+// grammar on the same base-language corpus.
+func Table4(opts Options) Table {
+	opts = opts.normalized()
+	input := workload.JavaProgram(workload.Config{Seed: 11, Size: opts.InputKB * 1024})
+	extInput := workload.JavaProgramExt(workload.Config{Seed: 11, Size: opts.InputKB * 1024})
+	t := Table{
+		ID:     "Table 4",
+		Title:  "cost of modular composition (java.core vs java.full)",
+		Header: []string{"measurement", "base (java.core)", "composed (java.full)"},
+	}
+
+	composeTime := func(top string) time.Duration {
+		return measure(opts.MinTime, func() { grammars.Compose(top) })
+	}
+	t.Rows = append(t.Rows, []string{
+		"compose time",
+		composeTime(grammars.JavaCore).String(),
+		composeTime(grammars.JavaFull).String(),
+	})
+
+	baseProg, err := buildProgram(grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	fullProg, err := buildProgram(grammars.JavaFull, transform.Defaults(), vm.Optimized())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	src := text.NewSource("bench", input)
+	dBase := measure(opts.MinTime, func() { baseProg.Parse(src) })
+	dFull := measure(opts.MinTime, func() { fullProg.Parse(src) })
+	t.Rows = append(t.Rows, []string{
+		"parse base-language corpus (MB/s)",
+		mbPerSec(len(input), dBase),
+		mbPerSec(len(input), dFull),
+	})
+	t.Rows = append(t.Rows, []string{
+		"composition overhead on base corpus", "1.00x",
+		fmt.Sprintf("%.2fx", float64(dFull)/float64(dBase)),
+	})
+	extSrc := text.NewSource("bench", extInput)
+	dExt := measure(opts.MinTime, func() { fullProg.Parse(extSrc) })
+	t.Rows = append(t.Rows, []string{
+		"parse extended-language corpus (MB/s)", "n/a (rejects)",
+		mbPerSec(len(extInput), dExt),
+	})
+	return t
+}
+
+// ------------------------------------------------------------------ fig1
+
+// Fig1 reports parse time per input byte across input sizes — the
+// linear-time scaling series.
+func Fig1(opts Options) Table {
+	opts = opts.normalized()
+	t := Table{
+		ID:     "Fig 1",
+		Title:  "time scaling with input size (java.core, optimized engine)",
+		Header: []string{"input KB", "parse time", "ns/byte"},
+	}
+	prog, err := buildProgram(grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	for _, kb := range []int{4, 16, 64, 256} {
+		input := workload.JavaProgram(workload.Config{Seed: 5, Size: kb * 1024})
+		src := text.NewSource("bench", input)
+		d := measure(opts.MinTime, func() { prog.Parse(src) })
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(len(input) / 1024),
+			d.String(),
+			fmt.Sprintf("%.1f", float64(d.Nanoseconds())/float64(len(input))),
+		})
+	}
+	return t
+}
+
+// ------------------------------------------------------------------ fig2
+
+// Fig2 reports the heap footprint of memoization per input byte.
+func Fig2(opts Options) Table {
+	opts = opts.normalized()
+	t := Table{
+		ID:     "Fig 2",
+		Title:  "memoization heap per input byte (java.core)",
+		Header: []string{"input KB", "configuration", "memoKB", "memoB/inputB"},
+	}
+	configs := []struct {
+		name  string
+		topts transform.Options
+		eopts vm.Options
+	}{
+		{"naive packrat (map memo)", transform.Baseline(), vm.NaivePackrat()},
+		{"optimized (chunks+transient)", transform.Defaults(), vm.Optimized()},
+	}
+	for _, kb := range []int{16, 64} {
+		input := workload.JavaProgram(workload.Config{Seed: 9, Size: kb * 1024})
+		src := text.NewSource("bench", input)
+		for _, c := range configs {
+			prog, err := buildProgram(grammars.JavaCore, c.topts, c.eopts)
+			if err != nil {
+				t.Notes = append(t.Notes, err.Error())
+				continue
+			}
+			_, stats, err := prog.Parse(src)
+			if err != nil {
+				t.Notes = append(t.Notes, err.Error())
+				continue
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(len(input) / 1024),
+				c.name,
+				fmt.Sprint(stats.MemoBytes / 1024),
+				fmt.Sprintf("%.1f", float64(stats.MemoBytes)/float64(len(input))),
+			})
+		}
+	}
+	return t
+}
+
+// ------------------------------------------------------------------ fig3
+
+// Fig3 demonstrates exponential backtracking vs linear packrat on the
+// pathological grammar.
+func Fig3(opts Options) Table {
+	opts = opts.normalized()
+	t := Table{
+		ID:     "Fig 3",
+		Title:  "pathological input: backtracking explodes, packrat stays linear",
+		Header: []string{"depth", "engine", "production calls", "time"},
+	}
+	g, err := core.Compose("path", core.MapResolver{"path": workload.PathologicalGrammar})
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	tg, _, err := transform.Apply(g, transform.Baseline())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	for _, depth := range []int{8, 12, 16, 20} {
+		input := workload.Pathological(depth)
+		src := text.NewSource("bench", input)
+		for _, e := range []struct {
+			name string
+			opts vm.Options
+		}{
+			{"backtracking", vm.Backtracking()},
+			{"packrat", vm.NaivePackrat()},
+		} {
+			prog, err := vm.Compile(tg, e.opts)
+			if err != nil {
+				t.Notes = append(t.Notes, err.Error())
+				continue
+			}
+			_, stats, err := prog.Parse(src)
+			if err != nil {
+				t.Notes = append(t.Notes, err.Error())
+				continue
+			}
+			d := measure(opts.MinTime/4, func() { prog.Parse(src) })
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(depth), e.name,
+				fmt.Sprint(stats.Calls),
+				d.String(),
+			})
+		}
+	}
+	return t
+}

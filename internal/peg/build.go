@@ -1,0 +1,96 @@
+package peg
+
+// Builder helpers: terse constructors used by tests, by the workload
+// generators, and by transformation passes that synthesize expressions.
+// They leave spans invalid (text.NoSpan zero values are fine for synthetic
+// nodes).
+
+// Lit builds a literal expression.
+func Lit(s string) *Literal { return &Literal{Text: s} }
+
+// Ref builds a nonterminal reference.
+func Ref(name string) *NonTerm { return &NonTerm{Name: name} }
+
+// Class builds a character class from lo/hi byte pairs:
+// Class('a', 'z', '0', '9') is [a-z0-9].
+func Class(pairs ...byte) *CharClass {
+	if len(pairs)%2 != 0 {
+		panic("peg.Class: odd number of byte bounds")
+	}
+	c := &CharClass{}
+	for i := 0; i < len(pairs); i += 2 {
+		c.Ranges = append(c.Ranges, CharRange{Lo: pairs[i], Hi: pairs[i+1]})
+	}
+	return c
+}
+
+// NotClass builds a negated character class.
+func NotClass(pairs ...byte) *CharClass {
+	c := Class(pairs...)
+	c.Negated = true
+	return c
+}
+
+// Dot builds the any-byte expression.
+func Dot() *Any { return &Any{} }
+
+// Eps builds the empty expression.
+func Eps() *Empty { return &Empty{} }
+
+// SeqOf builds an anonymous, unlabeled sequence of unbound items.
+func SeqOf(exprs ...Expr) *Seq {
+	s := &Seq{}
+	for _, e := range exprs {
+		s.Items = append(s.Items, Item{Expr: e})
+	}
+	return s
+}
+
+// Ctor builds a sequence with a node constructor.
+func Ctor(name string, exprs ...Expr) *Seq {
+	s := SeqOf(exprs...)
+	s.Ctor = name
+	return s
+}
+
+// Bind attaches a binding name to a single-item wrapper so that it can be
+// spliced into sequences: use as SeqOf is not possible for bound items, so
+// build sequences with Items directly or use BindItem.
+func BindItem(name string, e Expr) Item { return Item{Bind: name, Expr: e} }
+
+// Alt builds a choice from sequences; non-Seq expressions are wrapped in
+// single-item sequences.
+func Alt(alts ...Expr) *Choice {
+	c := &Choice{}
+	for _, a := range alts {
+		if s, ok := a.(*Seq); ok {
+			c.Alts = append(c.Alts, s)
+		} else {
+			c.Alts = append(c.Alts, SeqOf(a))
+		}
+	}
+	return c
+}
+
+// Star builds zero-or-more repetition.
+func Star(e Expr) *Repeat { return &Repeat{Min: 0, Expr: e} }
+
+// Plus builds one-or-more repetition.
+func Plus(e Expr) *Repeat { return &Repeat{Min: 1, Expr: e} }
+
+// Opt builds an optional expression.
+func Opt(e Expr) *Optional { return &Optional{Expr: e} }
+
+// Ahead builds a positive lookahead.
+func Ahead(e Expr) *And { return &And{Expr: e} }
+
+// Never builds a negative lookahead.
+func Never(e Expr) *Not { return &Not{Expr: e} }
+
+// Text builds a capture.
+func Text(e Expr) *Capture { return &Capture{Expr: e} }
+
+// Define builds a plain production.
+func DefineProd(name string, attrs Attr, body *Choice) *Production {
+	return &Production{Name: name, Attrs: attrs, Kind: Define, Choice: body}
+}

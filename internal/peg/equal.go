@@ -1,0 +1,169 @@
+package peg
+
+// EqualExpr reports structural equality of two expressions, ignoring source
+// spans. It is the basis of the print/parse round-trip property tests and
+// of transformation idempotence checks.
+func EqualExpr(a, b Expr) bool {
+	switch a := a.(type) {
+	case nil:
+		return b == nil
+	case *Empty:
+		_, ok := b.(*Empty)
+		return ok
+	case *Literal:
+		bb, ok := b.(*Literal)
+		return ok && a.Text == bb.Text
+	case *CharClass:
+		bb, ok := b.(*CharClass)
+		if !ok || a.Negated != bb.Negated || len(a.Ranges) != len(bb.Ranges) {
+			return false
+		}
+		for i := range a.Ranges {
+			if a.Ranges[i] != bb.Ranges[i] {
+				return false
+			}
+		}
+		return true
+	case *Any:
+		_, ok := b.(*Any)
+		return ok
+	case *NonTerm:
+		bb, ok := b.(*NonTerm)
+		return ok && a.Name == bb.Name
+	case *Capture:
+		bb, ok := b.(*Capture)
+		return ok && EqualExpr(a.Expr, bb.Expr)
+	case *And:
+		bb, ok := b.(*And)
+		return ok && EqualExpr(a.Expr, bb.Expr)
+	case *Not:
+		bb, ok := b.(*Not)
+		return ok && EqualExpr(a.Expr, bb.Expr)
+	case *Optional:
+		bb, ok := b.(*Optional)
+		return ok && EqualExpr(a.Expr, bb.Expr)
+	case *Repeat:
+		bb, ok := b.(*Repeat)
+		return ok && a.Min == bb.Min && EqualExpr(a.Expr, bb.Expr)
+	case *Seq:
+		bb, ok := b.(*Seq)
+		if !ok || a.Label != bb.Label || a.Ctor != bb.Ctor || len(a.Items) != len(bb.Items) {
+			return false
+		}
+		for i := range a.Items {
+			if a.Items[i].Bind != bb.Items[i].Bind || !EqualExpr(a.Items[i].Expr, bb.Items[i].Expr) {
+				return false
+			}
+		}
+		return true
+	case *Choice:
+		bb, ok := b.(*Choice)
+		if !ok || len(a.Alts) != len(bb.Alts) {
+			return false
+		}
+		for i := range a.Alts {
+			if !EqualExpr(a.Alts[i], bb.Alts[i]) {
+				return false
+			}
+		}
+		return true
+	case *LeftRec:
+		bb, ok := b.(*LeftRec)
+		if !ok || a.Name != bb.Name || !EqualExpr(a.Seed, bb.Seed) || len(a.Suffixes) != len(bb.Suffixes) {
+			return false
+		}
+		for i := range a.Suffixes {
+			if !EqualExpr(a.Suffixes[i], bb.Suffixes[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// EqualProduction reports structural equality of two productions, ignoring
+// spans.
+func EqualProduction(a, b *Production) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.Attrs != b.Attrs || a.Kind != b.Kind ||
+		a.Anchor != b.Anchor || a.AnchorLabel != b.AnchorLabel ||
+		len(a.Removed) != len(b.Removed) {
+		return false
+	}
+	for i := range a.Removed {
+		if a.Removed[i] != b.Removed[i] {
+			return false
+		}
+	}
+	if (a.Choice == nil) != (b.Choice == nil) {
+		return false
+	}
+	if a.Choice == nil {
+		return true
+	}
+	return EqualExpr(a.Choice, b.Choice)
+}
+
+// EqualModule reports structural equality of two modules, ignoring spans
+// and sources.
+func EqualModule(a, b *Module) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || len(a.Params) != len(b.Params) ||
+		len(a.Deps) != len(b.Deps) || len(a.Prods) != len(b.Prods) ||
+		len(a.Options) != len(b.Options) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	for i := range a.Deps {
+		da, db := a.Deps[i], b.Deps[i]
+		if da.Module != db.Module || da.Modify != db.Modify || len(da.Args) != len(db.Args) {
+			return false
+		}
+		for j := range da.Args {
+			if da.Args[j] != db.Args[j] {
+				return false
+			}
+		}
+	}
+	for k, v := range a.Options {
+		if b.Options[k] != v {
+			return false
+		}
+	}
+	for i := range a.Prods {
+		if !EqualProduction(a.Prods[i], b.Prods[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualGrammar reports structural equality of two composed grammars,
+// ignoring spans and module provenance but respecting production order.
+func EqualGrammar(a, b *Grammar) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Root != b.Root || len(a.Order) != len(b.Order) {
+		return false
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			return false
+		}
+		if !EqualProduction(a.Prods[a.Order[i]], b.Prods[b.Order[i]]) {
+			return false
+		}
+	}
+	return true
+}

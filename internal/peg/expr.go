@@ -1,0 +1,418 @@
+package peg
+
+import (
+	"fmt"
+	"sort"
+
+	"modpeg/internal/text"
+)
+
+// Expr is a parsing expression. The concrete types are Literal, CharClass,
+// Any, NonTerm, Seq, Choice, Repeat, Optional, And, Not, Capture, and Empty.
+type Expr interface {
+	Span() text.Span
+	isExpr()
+}
+
+// Empty matches the empty string and produces no value. It appears as the
+// body of epsilon alternatives and as the result of some rewrites.
+type Empty struct {
+	Sp text.Span
+}
+
+func (e *Empty) Span() text.Span { return e.Sp }
+func (*Empty) isExpr()           {}
+
+// Literal matches its text exactly. Literals are void: they produce no
+// semantic value (wrap in a Capture to keep the text).
+type Literal struct {
+	Text string
+	Sp   text.Span
+}
+
+func (e *Literal) Span() text.Span { return e.Sp }
+func (*Literal) isExpr()           {}
+
+// CharRange is an inclusive byte range within a character class.
+type CharRange struct {
+	Lo, Hi byte
+}
+
+// CharClass matches one byte inside (or, when negated, outside) its ranges
+// and produces a one-byte token.
+type CharClass struct {
+	Ranges  []CharRange
+	Negated bool
+	Sp      text.Span
+}
+
+func (e *CharClass) Span() text.Span { return e.Sp }
+func (*CharClass) isExpr()           {}
+
+// Matches reports whether the class accepts byte b.
+func (e *CharClass) Matches(b byte) bool {
+	for _, r := range e.Ranges {
+		if b >= r.Lo && b <= r.Hi {
+			return !e.Negated
+		}
+	}
+	return e.Negated
+}
+
+// Normalize sorts and merges overlapping or adjacent ranges in place.
+func (e *CharClass) Normalize() {
+	if len(e.Ranges) <= 1 {
+		return
+	}
+	sort.Slice(e.Ranges, func(i, j int) bool { return e.Ranges[i].Lo < e.Ranges[j].Lo })
+	out := e.Ranges[:1]
+	for _, r := range e.Ranges[1:] {
+		last := &out[len(out)-1]
+		if int(r.Lo) <= int(last.Hi)+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	e.Ranges = out
+}
+
+// Any matches any single byte and produces a one-byte token. It fails only
+// at end of input.
+type Any struct {
+	Sp text.Span
+}
+
+func (e *Any) Span() text.Span { return e.Sp }
+func (*Any) isExpr()           {}
+
+// NonTerm references another production by name. Before composition the
+// name may be module-qualified ("calc.Spacing") or a parameter name; after
+// composition names are flat and always resolve within the grammar.
+type NonTerm struct {
+	Name string
+	Sp   text.Span
+}
+
+func (e *NonTerm) Span() text.Span { return e.Sp }
+func (*NonTerm) isExpr()           {}
+
+// Item is one element of a sequence, optionally bound to a name. Bindings
+// select and order the children of constructed nodes.
+type Item struct {
+	// Bind is the binding name, or "" when unbound.
+	Bind string
+	Expr Expr
+}
+
+// Magic binding names used by synthetic sequences from the
+// repetition-expansion transform. A sequence containing any of them
+// produces a flat ast.List: BindHead items contribute their non-nil
+// value, BindTail items splice the callee's list, BindEmpty marks the
+// empty base case. The grammar-language parser can never produce these
+// names (bindings are identifiers), so they are reserved for transforms.
+const (
+	BindHead  = "@head"
+	BindTail  = "@tail"
+	BindEmpty = "@empty"
+)
+
+// IsSpliceSeq reports whether the sequence uses the splice protocol.
+func (e *Seq) IsSpliceSeq() bool {
+	for _, it := range e.Items {
+		switch it.Bind {
+		case BindHead, BindTail, BindEmpty:
+			return true
+		}
+	}
+	return false
+}
+
+// Seq is a sequence of items with an optional alternative label (used as a
+// modification anchor) and an optional node constructor.
+type Seq struct {
+	// Label names this alternative for += before/after anchoring and for
+	// -= removal. Empty for anonymous alternatives.
+	Label string
+	Items []Item
+	// Ctor, when non-empty, makes the sequence produce an
+	// ast.Node{Name: Ctor}.
+	Ctor string
+	Sp   text.Span
+}
+
+func (e *Seq) Span() text.Span { return e.Sp }
+func (*Seq) isExpr()           {}
+
+// HasBindings reports whether any item carries a binding name.
+func (e *Seq) HasBindings() bool {
+	for _, it := range e.Items {
+		if it.Bind != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Choice is an ordered choice between alternatives. Every alternative is a
+// Seq so that labels and constructors have a uniform home.
+type Choice struct {
+	Alts []*Seq
+	Sp   text.Span
+}
+
+func (e *Choice) Span() text.Span { return e.Sp }
+func (*Choice) isExpr()           {}
+
+// AltIndex returns the index of the alternative labeled label, or -1.
+func (e *Choice) AltIndex(label string) int {
+	for i, a := range e.Alts {
+		if a.Label == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// Repeat matches Expr Min-or-more times (Min is 0 for `*`, 1 for `+`) and
+// produces a list of the non-nil iteration values.
+type Repeat struct {
+	Min  int
+	Expr Expr
+	Sp   text.Span
+}
+
+func (e *Repeat) Span() text.Span { return e.Sp }
+func (*Repeat) isExpr()           {}
+
+// Optional matches Expr zero or one time, producing its value or nil.
+type Optional struct {
+	Expr Expr
+	Sp   text.Span
+}
+
+func (e *Optional) Span() text.Span { return e.Sp }
+func (*Optional) isExpr()           {}
+
+// And is the positive lookahead predicate &e: succeeds iff e matches,
+// consumes nothing, produces no value.
+type And struct {
+	Expr Expr
+	Sp   text.Span
+}
+
+func (e *And) Span() text.Span { return e.Sp }
+func (*And) isExpr()           {}
+
+// Not is the negative lookahead predicate !e: succeeds iff e fails,
+// consumes nothing, produces no value.
+type Not struct {
+	Expr Expr
+	Sp   text.Span
+}
+
+func (e *Not) Span() text.Span { return e.Sp }
+func (*Not) isExpr()           {}
+
+// Capture $(e) matches e and produces a single token covering the entire
+// matched text, discarding e's internal values.
+type Capture struct {
+	Expr Expr
+	Sp   text.Span
+}
+
+func (e *Capture) Span() text.Span { return e.Sp }
+func (*Capture) isExpr()           {}
+
+// LeftRec is the result of transforming a directly left-recursive
+// production into iteration (the Rats! left-recursion transformation). It
+// never appears in parsed modules; the optimizer synthesizes it.
+//
+// Operationally: match Seed to obtain an initial value, then repeatedly try
+// the Suffixes in order, folding each match into the value left-
+// associatively. A suffix is the tail of an original alternative
+// "P = P rest..." (its leading self-reference removed). The value of one
+// suffix application is:
+//
+//   - Node{Ctor, acc, vals...} when the suffix has a constructor,
+//   - acc itself when the suffix produced no values,
+//   - List{acc, vals...} otherwise,
+//
+// where acc is the value accumulated so far and vals are the suffix's item
+// values under the usual sequence rules.
+type LeftRec struct {
+	// Name records the production this node rewrites, for diagnostics.
+	Name     string
+	Seed     *Choice
+	Suffixes []*Seq
+	Sp       text.Span
+}
+
+func (e *LeftRec) Span() text.Span { return e.Sp }
+func (*LeftRec) isExpr()           {}
+
+// Walk applies fn to e and then, recursively, to each child expression in
+// syntactic order. Walking a nil expression is a no-op.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *Seq:
+		for _, it := range e.Items {
+			Walk(it.Expr, fn)
+		}
+	case *Choice:
+		for _, a := range e.Alts {
+			Walk(a, fn)
+		}
+	case *Repeat:
+		Walk(e.Expr, fn)
+	case *Optional:
+		Walk(e.Expr, fn)
+	case *And:
+		Walk(e.Expr, fn)
+	case *Not:
+		Walk(e.Expr, fn)
+	case *Capture:
+		Walk(e.Expr, fn)
+	case *LeftRec:
+		Walk(e.Seed, fn)
+		for _, s := range e.Suffixes {
+			Walk(s, fn)
+		}
+	}
+}
+
+// Rewrite rebuilds the expression bottom-up, replacing each node with
+// fn(node) after its children have been rewritten. fn must return an
+// expression of a type valid in the node's context (alternatives of a
+// Choice remain *Seq; fn is not applied to the Seqs of a Choice directly —
+// rewrite their items instead — but IS applied to standalone Seqs).
+func Rewrite(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *Seq:
+		for i := range e.Items {
+			e.Items[i].Expr = Rewrite(e.Items[i].Expr, fn)
+		}
+	case *Choice:
+		for i, a := range e.Alts {
+			na := Rewrite(a, fn)
+			seq, ok := na.(*Seq)
+			if !ok {
+				// Wrap non-Seq rewrites to preserve the Choice invariant.
+				seq = &Seq{Items: []Item{{Expr: na}}, Sp: na.Span()}
+			}
+			e.Alts[i] = seq
+		}
+		return fn(e)
+	case *Repeat:
+		e.Expr = Rewrite(e.Expr, fn)
+	case *Optional:
+		e.Expr = Rewrite(e.Expr, fn)
+	case *And:
+		e.Expr = Rewrite(e.Expr, fn)
+	case *Not:
+		e.Expr = Rewrite(e.Expr, fn)
+	case *Capture:
+		e.Expr = Rewrite(e.Expr, fn)
+	case *LeftRec:
+		e.Seed = Rewrite(e.Seed, fn).(*Choice)
+		for i, s := range e.Suffixes {
+			ns := Rewrite(s, fn)
+			seq, ok := ns.(*Seq)
+			if !ok {
+				seq = &Seq{Items: []Item{{Expr: ns}}, Sp: ns.Span()}
+			}
+			e.Suffixes[i] = seq
+		}
+	}
+	return fn(e)
+}
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *Empty:
+		c := *e
+		return &c
+	case *Literal:
+		c := *e
+		return &c
+	case *CharClass:
+		c := *e
+		c.Ranges = append([]CharRange(nil), e.Ranges...)
+		return &c
+	case *Any:
+		c := *e
+		return &c
+	case *NonTerm:
+		c := *e
+		return &c
+	case *Seq:
+		c := *e
+		c.Items = make([]Item, len(e.Items))
+		for i, it := range e.Items {
+			c.Items[i] = Item{Bind: it.Bind, Expr: CloneExpr(it.Expr)}
+		}
+		return &c
+	case *Choice:
+		c := *e
+		c.Alts = make([]*Seq, len(e.Alts))
+		for i, a := range e.Alts {
+			c.Alts[i] = CloneExpr(a).(*Seq)
+		}
+		return &c
+	case *Repeat:
+		c := *e
+		c.Expr = CloneExpr(e.Expr)
+		return &c
+	case *Optional:
+		c := *e
+		c.Expr = CloneExpr(e.Expr)
+		return &c
+	case *And:
+		c := *e
+		c.Expr = CloneExpr(e.Expr)
+		return &c
+	case *Not:
+		c := *e
+		c.Expr = CloneExpr(e.Expr)
+		return &c
+	case *Capture:
+		c := *e
+		c.Expr = CloneExpr(e.Expr)
+		return &c
+	case *LeftRec:
+		c := *e
+		c.Seed = CloneExpr(e.Seed).(*Choice)
+		c.Suffixes = make([]*Seq, len(e.Suffixes))
+		for i, s := range e.Suffixes {
+			c.Suffixes[i] = CloneExpr(s).(*Seq)
+		}
+		return &c
+	default:
+		panic(fmt.Sprintf("peg: unknown expression type %T", e))
+	}
+}
+
+// RenameNonTerms returns the expression with every nonterminal name mapped
+// through subst (names missing from subst are kept). The input is mutated.
+func RenameNonTerms(e Expr, subst map[string]string) Expr {
+	return Rewrite(e, func(e Expr) Expr {
+		if nt, ok := e.(*NonTerm); ok {
+			if to, ok := subst[nt.Name]; ok {
+				nt.Name = to
+			}
+		}
+		return e
+	})
+}

@@ -1,0 +1,112 @@
+package peg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ModuleStats summarizes one module for the grammar-modularity table
+// (paper's Table 1 analogue).
+type ModuleStats struct {
+	Module       string
+	Params       int
+	Imports      int
+	Modifies     int
+	Productions  int // plain definitions
+	Overrides    int // := modifications
+	Additions    int // += modifications
+	Removals     int // -= modifications
+	Alternatives int // total alternatives across bodies
+	Expressions  int // total expression nodes
+}
+
+// StatsOf computes the statistics of a module.
+func StatsOf(m *Module) ModuleStats {
+	s := ModuleStats{Module: m.Name, Params: len(m.Params)}
+	for _, d := range m.Deps {
+		if d.Modify {
+			s.Modifies++
+		} else {
+			s.Imports++
+		}
+	}
+	for _, p := range m.Prods {
+		switch p.Kind {
+		case Define:
+			s.Productions++
+		case Override:
+			s.Overrides++
+		case AddAlts:
+			s.Additions++
+		case RemoveAlts:
+			s.Removals++
+		}
+		if p.Choice != nil {
+			s.Alternatives += len(p.Choice.Alts)
+			Walk(p.Choice, func(Expr) { s.Expressions++ })
+		}
+	}
+	return s
+}
+
+// GrammarStats summarizes a composed grammar.
+type GrammarStats struct {
+	Root         string
+	Modules      int
+	Productions  int
+	Alternatives int
+	Expressions  int
+	Transient    int
+	Void         int
+	Text         int
+	Public       int
+}
+
+// StatsOfGrammar computes the statistics of a composed grammar.
+func StatsOfGrammar(g *Grammar) GrammarStats {
+	s := GrammarStats{Root: g.Root, Modules: len(g.ModuleNames)}
+	for _, name := range g.Order {
+		p := g.Prods[name]
+		s.Productions++
+		if p.Attrs.Has(AttrTransient) {
+			s.Transient++
+		}
+		if p.Attrs.Has(AttrVoid) {
+			s.Void++
+		}
+		if p.Attrs.Has(AttrText) {
+			s.Text++
+		}
+		if p.Attrs.Has(AttrPublic) {
+			s.Public++
+		}
+		if p.Choice != nil {
+			s.Alternatives += len(p.Choice.Alts)
+			Walk(p.Choice, func(Expr) { s.Expressions++ })
+		}
+	}
+	return s
+}
+
+// Row renders the stats as an aligned table row; Header gives the matching
+// column header. These feed the Table 1 harness output.
+func (s ModuleStats) Row() string {
+	return fmt.Sprintf("%-28s %6d %7d %8d %6d %6d %6d %6d %6d",
+		s.Module, s.Imports, s.Modifies, s.Productions, s.Overrides,
+		s.Additions, s.Removals, s.Alternatives, s.Expressions)
+}
+
+// ModuleStatsHeader is the column header matching ModuleStats.Row.
+func ModuleStatsHeader() string {
+	return fmt.Sprintf("%-28s %6s %7s %8s %6s %6s %6s %6s %6s",
+		"module", "import", "modify", "prods", "ovr", "add", "rm", "alts", "exprs")
+}
+
+// String renders grammar stats as a one-line summary.
+func (s GrammarStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root=%s modules=%d productions=%d alternatives=%d exprs=%d",
+		s.Root, s.Modules, s.Productions, s.Alternatives, s.Expressions)
+	fmt.Fprintf(&b, " transient=%d void=%d text=%d public=%d", s.Transient, s.Void, s.Text, s.Public)
+	return b.String()
+}

@@ -1,0 +1,308 @@
+// Package peg defines the intermediate representation of modular parsing
+// expression grammars: expressions, productions, modules, and composed
+// grammars.
+//
+// The representation mirrors the design of Rats! (Grimm, PLDI 2006):
+//
+//   - A *Module* is a unit of syntax definition. It declares a qualified
+//     name, optional parameters, dependencies on other modules, and a list
+//     of productions. A production in a module may be a plain definition or
+//     a *modification* of a production from a dependency: a full override
+//     (:=), the addition of alternatives (+=, optionally anchored before or
+//     after a labeled alternative), or the removal of labeled alternatives
+//     (-=).
+//
+//   - A *Grammar* is the closed result of composing modules (see
+//     internal/core): a flat map from production names to productions with
+//     every modification applied and every module parameter substituted.
+//
+// # Semantic values
+//
+// Parsers over this IR produce generic ast.Values under these rules:
+//
+//   - Literal matches are void (no value). Wrap in a capture $(...) to
+//     obtain the text.
+//   - CharClass and Any matches produce a *ast.Token of the matched byte.
+//   - A capture $(e) produces a *ast.Token covering everything e matched,
+//     discarding e's internal values.
+//   - A sequence with a constructor `@Name` produces ast.Node{Name, ...}
+//     whose children are the values of its bound items (in binding order)
+//     or, if it has no bindings, all non-nil item values.
+//   - A sequence without a constructor passes through: nil if no item
+//     produced a value, the value itself if exactly one did, and an
+//     ast.List otherwise.
+//   - e? produces the value or nil; e* and e+ produce a flat ast.List of
+//     the non-nil iteration values — except that a repetition (or option)
+//     whose body can never produce a value yields nil instead of an empty
+//     list. "Can never produce a value" is decided *interprocedurally*
+//     (see analysis.Analysis.Valued), so wrapping a void expression in a
+//     helper production does not change value shapes, and inlining cannot
+//     either.
+//   - &e and !e are void.
+//   - A production's value is its matched alternative's value, except:
+//     `text` productions produce a single *ast.Token covering the whole
+//     match, and `void` productions produce nil.
+//
+// The IR is deliberately plain data; analyses live in internal/analysis,
+// rewrites in internal/transform, composition in internal/core, and
+// execution in internal/vm.
+package peg
+
+import (
+	"fmt"
+	"strings"
+
+	"modpeg/internal/text"
+)
+
+// Attr is a bit set of production attributes.
+type Attr uint16
+
+const (
+	// AttrPublic marks a production as visible to importing modules and as
+	// a permissible grammar root.
+	AttrPublic Attr = 1 << iota
+	// AttrTransient declares that the production's results need not be
+	// memoized (the central Rats! space optimization).
+	AttrTransient
+	// AttrMemo forces memoization even when an optimization pass would
+	// otherwise mark the production transient.
+	AttrMemo
+	// AttrVoid declares that the production produces no semantic value.
+	AttrVoid
+	// AttrText declares that the production produces the matched text as a
+	// single token, discarding inner structure (lexical productions).
+	AttrText
+	// AttrInline invites the optimizer to inline this production at use
+	// sites regardless of its cost estimate.
+	AttrInline
+	// AttrNoInline forbids inlining.
+	AttrNoInline
+	// AttrSynthetic marks productions introduced by transformation passes
+	// (e.g. left-recursion rewrites); printed for debugging only.
+	AttrSynthetic
+)
+
+var attrNames = []struct {
+	bit  Attr
+	name string
+}{
+	{AttrPublic, "public"},
+	{AttrTransient, "transient"},
+	{AttrMemo, "memo"},
+	{AttrVoid, "void"},
+	{AttrText, "text"},
+	{AttrInline, "inline"},
+	{AttrNoInline, "noinline"},
+	{AttrSynthetic, "synthetic"},
+}
+
+// Has reports whether all bits in q are set.
+func (a Attr) Has(q Attr) bool { return a&q == q }
+
+// String renders the attribute set as space-separated keywords.
+func (a Attr) String() string {
+	var parts []string
+	for _, an := range attrNames {
+		if a.Has(an.bit) {
+			parts = append(parts, an.name)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseAttr maps an attribute keyword to its bit; ok is false for unknown
+// keywords.
+func ParseAttr(name string) (Attr, bool) {
+	for _, an := range attrNames {
+		if an.name == name {
+			return an.bit, true
+		}
+	}
+	return 0, false
+}
+
+// ProdKind distinguishes plain definitions from the modification forms a
+// module may apply to productions of its dependencies.
+type ProdKind int
+
+const (
+	// Define introduces a new production (=).
+	Define ProdKind = iota
+	// Override replaces an inherited production's body entirely (:=).
+	Override
+	// AddAlts appends or inserts alternatives into an inherited production
+	// (+=, with optional before/after anchor).
+	AddAlts
+	// RemoveAlts deletes labeled alternatives from an inherited production
+	// (-=).
+	RemoveAlts
+)
+
+func (k ProdKind) String() string {
+	switch k {
+	case Define:
+		return "="
+	case Override:
+		return ":="
+	case AddAlts:
+		return "+="
+	case RemoveAlts:
+		return "-="
+	}
+	return fmt.Sprintf("ProdKind(%d)", int(k))
+}
+
+// Anchor positions added alternatives relative to an existing labeled
+// alternative.
+type Anchor int
+
+const (
+	// AtEnd appends added alternatives after all existing ones.
+	AtEnd Anchor = iota
+	// Before inserts added alternatives immediately before the anchor label.
+	Before
+	// After inserts added alternatives immediately after the anchor label.
+	After
+)
+
+func (a Anchor) String() string {
+	switch a {
+	case AtEnd:
+		return "at end"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	}
+	return fmt.Sprintf("Anchor(%d)", int(a))
+}
+
+// Production is one (possibly modifying) production of a module, or — after
+// composition — one production of a closed grammar.
+type Production struct {
+	Name  string
+	Attrs Attr
+	Kind  ProdKind
+	// Choice is the body for Define/Override, and the added alternatives
+	// for AddAlts. It is nil for RemoveAlts.
+	Choice *Choice
+	// Anchor/AnchorLabel position AddAlts alternatives.
+	Anchor      Anchor
+	AnchorLabel string
+	// Removed lists the alternative labels deleted by RemoveAlts.
+	Removed []string
+	Sp      text.Span
+}
+
+// Span returns the production's source span.
+func (p *Production) Span() text.Span { return p.Sp }
+
+// Dependency records a module-level import or modification clause.
+type Dependency struct {
+	// Module is the qualified name of the target module.
+	Module string
+	// Args are the argument module names substituted for the target's
+	// parameters, in order.
+	Args []string
+	// Modify is true for `modify` clauses: the depending module's
+	// modification productions apply to this dependency's productions.
+	Modify bool
+	Sp     text.Span
+}
+
+// Module is a parsed grammar module before composition.
+type Module struct {
+	Name   string
+	Params []string
+	Deps   []Dependency
+	Prods  []*Production
+	// Options carries module-level `option` declarations (e.g. the root
+	// production name for executable grammars).
+	Options map[string]string
+	Source  *text.Source
+	Sp      text.Span
+}
+
+// Production returns the module's production with the given name, or nil.
+func (m *Module) Production(name string) *Production {
+	for _, p := range m.Prods {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Grammar is a closed, composed grammar: every nonterminal reference
+// resolves to a production in Prods, and Root names the start production.
+type Grammar struct {
+	// Root is the start production's name.
+	Root string
+	// Prods maps production name to production. All productions have
+	// Kind == Define after composition.
+	Prods map[string]*Production
+	// Order preserves a deterministic production order (definition order
+	// of the composed modules) for printing and code generation.
+	Order []string
+	// ModuleNames records which modules were composed, in dependency
+	// order, for reporting.
+	ModuleNames []string
+}
+
+// Production returns the named production, or nil.
+func (g *Grammar) Production(name string) *Production { return g.Prods[name] }
+
+// Clone returns a deep copy of the grammar. Transformation passes operate
+// on clones so that callers can compare optimized and unoptimized forms.
+func (g *Grammar) Clone() *Grammar {
+	ng := &Grammar{
+		Root:        g.Root,
+		Prods:       make(map[string]*Production, len(g.Prods)),
+		Order:       append([]string(nil), g.Order...),
+		ModuleNames: append([]string(nil), g.ModuleNames...),
+	}
+	for name, p := range g.Prods {
+		ng.Prods[name] = CloneProduction(p)
+	}
+	return ng
+}
+
+// Add inserts a production, maintaining Order. It replaces any existing
+// production with the same name without duplicating the order entry.
+func (g *Grammar) Add(p *Production) {
+	if g.Prods == nil {
+		g.Prods = make(map[string]*Production)
+	}
+	if _, exists := g.Prods[p.Name]; !exists {
+		g.Order = append(g.Order, p.Name)
+	}
+	g.Prods[p.Name] = p
+}
+
+// Remove deletes a production by name, keeping Order consistent.
+func (g *Grammar) Remove(name string) {
+	if _, ok := g.Prods[name]; !ok {
+		return
+	}
+	delete(g.Prods, name)
+	for i, n := range g.Order {
+		if n == name {
+			g.Order = append(g.Order[:i], g.Order[i+1:]...)
+			break
+		}
+	}
+}
+
+// CloneProduction deep-copies a production.
+func CloneProduction(p *Production) *Production {
+	if p == nil {
+		return nil
+	}
+	np := *p
+	np.Removed = append([]string(nil), p.Removed...)
+	if p.Choice != nil {
+		np.Choice = CloneExpr(p.Choice).(*Choice)
+	}
+	return &np
+}

@@ -1,0 +1,541 @@
+package peg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttrBits(t *testing.T) {
+	a := AttrPublic | AttrTransient
+	if !a.Has(AttrPublic) || !a.Has(AttrTransient) || a.Has(AttrVoid) {
+		t.Fatal("Has is wrong")
+	}
+	if !a.Has(AttrPublic | AttrTransient) {
+		t.Fatal("Has must require all bits")
+	}
+	if got := a.String(); got != "public transient" {
+		t.Fatalf("String = %q", got)
+	}
+	if Attr(0).String() != "" {
+		t.Fatal("empty attr set must render empty")
+	}
+	for _, name := range []string{"public", "transient", "memo", "void", "text", "inline", "noinline", "synthetic"} {
+		bit, ok := ParseAttr(name)
+		if !ok || bit == 0 {
+			t.Errorf("ParseAttr(%q) failed", name)
+		}
+		if bit.String() != name {
+			t.Errorf("round-trip %q -> %q", name, bit.String())
+		}
+	}
+	if _, ok := ParseAttr("bogus"); ok {
+		t.Fatal("ParseAttr must reject unknown names")
+	}
+}
+
+func TestProdKindAnchorStrings(t *testing.T) {
+	if Define.String() != "=" || Override.String() != ":=" || AddAlts.String() != "+=" || RemoveAlts.String() != "-=" {
+		t.Fatal("ProdKind strings")
+	}
+	if !strings.Contains(ProdKind(9).String(), "9") {
+		t.Fatal("unknown kind string")
+	}
+	if AtEnd.String() != "at end" || Before.String() != "before" || After.String() != "after" {
+		t.Fatal("anchor strings")
+	}
+	if !strings.Contains(Anchor(7).String(), "7") {
+		t.Fatal("unknown anchor string")
+	}
+}
+
+func TestCharClassMatches(t *testing.T) {
+	c := Class('a', 'z', '0', '9')
+	for _, b := range []byte{'a', 'm', 'z', '0', '5', '9'} {
+		if !c.Matches(b) {
+			t.Errorf("class must match %q", b)
+		}
+	}
+	for _, b := range []byte{'A', ' ', '~', 0} {
+		if c.Matches(b) {
+			t.Errorf("class must not match %q", b)
+		}
+	}
+	n := NotClass('\n', '\n')
+	if n.Matches('\n') || !n.Matches('x') {
+		t.Fatal("negated class is wrong")
+	}
+}
+
+func TestCharClassNormalize(t *testing.T) {
+	c := Class('m', 'p', 'a', 'c', 'b', 'f', 'q', 'q')
+	c.Normalize()
+	// [a-c]+[b-f] merge to [a-f]; [m-p]+[q] adjacent-merge to [m-q].
+	want := []CharRange{{'a', 'f'}, {'m', 'q'}}
+	if len(c.Ranges) != len(want) {
+		t.Fatalf("ranges = %v", c.Ranges)
+	}
+	for i := range want {
+		if c.Ranges[i] != want[i] {
+			t.Fatalf("ranges = %v, want %v", c.Ranges, want)
+		}
+	}
+	single := Class('x', 'x')
+	single.Normalize()
+	if len(single.Ranges) != 1 {
+		t.Fatal("normalize must keep single range")
+	}
+}
+
+func TestChoiceAltIndex(t *testing.T) {
+	c := Alt(
+		&Seq{Label: "first", Items: []Item{{Expr: Lit("a")}}},
+		SeqOf(Lit("b")),
+		&Seq{Label: "third", Items: []Item{{Expr: Lit("c")}}},
+	)
+	if c.AltIndex("first") != 0 || c.AltIndex("third") != 2 || c.AltIndex("none") != -1 {
+		t.Fatal("AltIndex is wrong")
+	}
+}
+
+func TestSeqHasBindings(t *testing.T) {
+	s := SeqOf(Lit("a"))
+	if s.HasBindings() {
+		t.Fatal("unbound seq")
+	}
+	s.Items = append(s.Items, BindItem("x", Ref("N")))
+	if !s.HasBindings() {
+		t.Fatal("bound seq")
+	}
+}
+
+func sampleExpr() *Choice {
+	return Alt(
+		&Seq{
+			Label: "add",
+			Items: []Item{
+				BindItem("l", Ref("Mul")),
+				{Expr: Lit("+")},
+				BindItem("r", Ref("Add")),
+			},
+			Ctor: "Add",
+		},
+		SeqOf(Ref("Mul")),
+		SeqOf(Star(Class('a', 'z')), Opt(Lit("!")), Plus(Dot())),
+		SeqOf(Ahead(Lit("x")), Never(Lit("y")), Text(Plus(Class('0', '9')))),
+		SeqOf(Eps()),
+	)
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	e := sampleExpr()
+	c := CloneExpr(e).(*Choice)
+	if !EqualExpr(e, c) {
+		t.Fatal("clone must be structurally equal")
+	}
+	// Mutating the clone must not affect the original.
+	c.Alts[0].Items[1].Expr = Lit("-")
+	if EqualExpr(e, c) {
+		t.Fatal("mutated clone must differ")
+	}
+	if e.Alts[0].Items[1].Expr.(*Literal).Text != "+" {
+		t.Fatal("original was mutated through the clone")
+	}
+}
+
+func TestEqualExprMismatches(t *testing.T) {
+	pairs := []struct{ a, b Expr }{
+		{Lit("a"), Lit("b")},
+		{Lit("a"), Ref("a")},
+		{Ref("A"), Ref("B")},
+		{Class('a', 'b'), Class('a', 'c')},
+		{Class('a', 'b'), NotClass('a', 'b')},
+		{Class('a', 'b'), Class('a', 'b', 'x', 'y')},
+		{Star(Lit("a")), Plus(Lit("a"))},
+		{Star(Lit("a")), Star(Lit("b"))},
+		{Opt(Lit("a")), Star(Lit("a"))},
+		{Ahead(Lit("a")), Never(Lit("a"))},
+		{Text(Lit("a")), Lit("a")},
+		{SeqOf(Lit("a")), SeqOf(Lit("a"), Lit("b"))},
+		{Ctor("X", Lit("a")), Ctor("Y", Lit("a"))},
+		{&Seq{Label: "l", Items: []Item{{Expr: Lit("a")}}}, SeqOf(Lit("a"))},
+		{Alt(Lit("a")), Alt(Lit("a"), Lit("b"))},
+		{Alt(Lit("a")), Lit("a")},
+		{Eps(), Lit("")},
+		{nil, Eps()},
+	}
+	for i, p := range pairs {
+		if EqualExpr(p.a, p.b) {
+			t.Errorf("case %d: %v and %v must differ", i, FormatExpr(p.a), FormatExpr(p.b))
+		}
+	}
+	if !EqualExpr(nil, nil) {
+		t.Fatal("nil == nil")
+	}
+	// Bindings matter.
+	a := &Seq{Items: []Item{BindItem("x", Ref("N"))}}
+	b := &Seq{Items: []Item{{Expr: Ref("N")}}}
+	if EqualExpr(a, b) {
+		t.Fatal("bindings must participate in equality")
+	}
+}
+
+func TestWalkOrderAndCount(t *testing.T) {
+	e := sampleExpr()
+	var kinds []string
+	Walk(e, func(x Expr) {
+		switch x.(type) {
+		case *Choice:
+			kinds = append(kinds, "choice")
+		case *Seq:
+			kinds = append(kinds, "seq")
+		case *NonTerm:
+			kinds = append(kinds, "ref")
+		case *Literal:
+			kinds = append(kinds, "lit")
+		default:
+			kinds = append(kinds, "other")
+		}
+	})
+	if kinds[0] != "choice" || kinds[1] != "seq" {
+		t.Fatalf("walk order = %v", kinds[:4])
+	}
+	n := 0
+	Walk(e, func(Expr) { n++ })
+	if n < 15 {
+		t.Fatalf("walk visited only %d nodes", n)
+	}
+	Walk(nil, func(Expr) { t.Fatal("must not visit nil") })
+}
+
+func TestRewriteReplacesLeaves(t *testing.T) {
+	e := sampleExpr()
+	got := Rewrite(CloneExpr(e), func(x Expr) Expr {
+		if nt, ok := x.(*NonTerm); ok && nt.Name == "Mul" {
+			return &NonTerm{Name: "Term"}
+		}
+		return x
+	})
+	found := 0
+	Walk(got, func(x Expr) {
+		if nt, ok := x.(*NonTerm); ok {
+			if nt.Name == "Mul" {
+				t.Fatal("Mul must be gone")
+			}
+			if nt.Name == "Term" {
+				found++
+			}
+		}
+	})
+	if found != 2 {
+		t.Fatalf("Term refs = %d, want 2", found)
+	}
+	if Rewrite(nil, func(x Expr) Expr { return x }) != nil {
+		t.Fatal("rewrite nil")
+	}
+}
+
+func TestRewriteWrapsNonSeqAlternatives(t *testing.T) {
+	// A rewrite that turns a whole Seq into a bare literal must still leave
+	// a Choice whose alternatives are Seqs.
+	c := Alt(SeqOf(Lit("a")))
+	got := Rewrite(c, func(x Expr) Expr {
+		if _, ok := x.(*Seq); ok {
+			return Lit("z")
+		}
+		return x
+	}).(*Choice)
+	if len(got.Alts) != 1 {
+		t.Fatal("alt count")
+	}
+	if _, ok := got.Alts[0].Items[0].Expr.(*Literal); !ok {
+		t.Fatalf("wrapped alternative = %T", got.Alts[0].Items[0].Expr)
+	}
+}
+
+func TestRenameNonTerms(t *testing.T) {
+	e := Alt(SeqOf(Ref("A"), Ref("B"), Ref("A")))
+	RenameNonTerms(e, map[string]string{"A": "X"})
+	names := map[string]int{}
+	Walk(e, func(x Expr) {
+		if nt, ok := x.(*NonTerm); ok {
+			names[nt.Name]++
+		}
+	})
+	if names["X"] != 2 || names["B"] != 1 || names["A"] != 0 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestGrammarAddRemoveClone(t *testing.T) {
+	g := &Grammar{Root: "S"}
+	g.Add(DefineProd("S", AttrPublic, Alt(SeqOf(Ref("A")))))
+	g.Add(DefineProd("A", 0, Alt(SeqOf(Lit("a")))))
+	if len(g.Order) != 2 || g.Order[0] != "S" {
+		t.Fatalf("order = %v", g.Order)
+	}
+	// Replacing keeps order stable.
+	g.Add(DefineProd("A", 0, Alt(SeqOf(Lit("b")))))
+	if len(g.Order) != 2 {
+		t.Fatalf("replace duplicated order: %v", g.Order)
+	}
+	if g.Production("A").Choice.Alts[0].Items[0].Expr.(*Literal).Text != "b" {
+		t.Fatal("replace did not take")
+	}
+
+	c := g.Clone()
+	c.Production("A").Choice.Alts[0].Items[0].Expr.(*Literal).Text = "z"
+	if g.Production("A").Choice.Alts[0].Items[0].Expr.(*Literal).Text != "b" {
+		t.Fatal("clone aliases original")
+	}
+	if !EqualGrammar(g, g.Clone()) {
+		t.Fatal("clone must equal original")
+	}
+
+	g.Remove("A")
+	if g.Production("A") != nil || len(g.Order) != 1 {
+		t.Fatal("remove failed")
+	}
+	g.Remove("A") // no-op
+	if len(g.Order) != 1 {
+		t.Fatal("double remove changed order")
+	}
+}
+
+func TestModuleProductionLookup(t *testing.T) {
+	m := &Module{
+		Name:  "m",
+		Prods: []*Production{DefineProd("P", 0, Alt(SeqOf(Lit("p"))))},
+	}
+	if m.Production("P") == nil || m.Production("Q") != nil {
+		t.Fatal("module production lookup")
+	}
+}
+
+func TestEqualProductionAndModule(t *testing.T) {
+	p1 := DefineProd("P", AttrPublic, Alt(SeqOf(Lit("p"))))
+	p2 := DefineProd("P", AttrPublic, Alt(SeqOf(Lit("p"))))
+	if !EqualProduction(p1, p2) {
+		t.Fatal("equal productions")
+	}
+	p2.Attrs = 0
+	if EqualProduction(p1, p2) {
+		t.Fatal("attrs must matter")
+	}
+	rm1 := &Production{Name: "R", Kind: RemoveAlts, Removed: []string{"a"}}
+	rm2 := &Production{Name: "R", Kind: RemoveAlts, Removed: []string{"b"}}
+	if EqualProduction(rm1, rm2) {
+		t.Fatal("removed labels must matter")
+	}
+	rm3 := &Production{Name: "R", Kind: RemoveAlts, Removed: []string{"a"}}
+	if !EqualProduction(rm1, rm3) {
+		t.Fatal("identical removals must be equal")
+	}
+	if EqualProduction(p1, nil) || !EqualProduction(nil, nil) {
+		t.Fatal("nil handling")
+	}
+	if EqualProduction(rm1, &Production{Name: "R", Kind: RemoveAlts, Removed: []string{"a"}, Choice: Alt(SeqOf(Lit("x")))}) {
+		t.Fatal("choice presence must matter")
+	}
+
+	m1 := &Module{Name: "m", Params: []string{"P"}, Deps: []Dependency{{Module: "d", Args: []string{"x"}}},
+		Options: map[string]string{"root": "S"}, Prods: []*Production{p1}}
+	m2 := &Module{Name: "m", Params: []string{"P"}, Deps: []Dependency{{Module: "d", Args: []string{"x"}}},
+		Options: map[string]string{"root": "S"}, Prods: []*Production{DefineProd("P", AttrPublic, Alt(SeqOf(Lit("p"))))}}
+	if !EqualModule(m1, m2) {
+		t.Fatal("equal modules")
+	}
+	m2.Deps[0].Modify = true
+	if EqualModule(m1, m2) {
+		t.Fatal("dep kind must matter")
+	}
+	m2.Deps[0].Modify = false
+	m2.Deps[0].Args[0] = "y"
+	if EqualModule(m1, m2) {
+		t.Fatal("dep args must matter")
+	}
+	m2.Deps[0].Args[0] = "x"
+	m2.Options["root"] = "T"
+	if EqualModule(m1, m2) {
+		t.Fatal("options must matter")
+	}
+	if EqualModule(m1, nil) || !EqualModule(nil, nil) {
+		t.Fatal("nil module handling")
+	}
+}
+
+func TestEqualGrammarMismatch(t *testing.T) {
+	g1 := &Grammar{Root: "S"}
+	g1.Add(DefineProd("S", 0, Alt(SeqOf(Lit("a")))))
+	g2 := g1.Clone()
+	if !EqualGrammar(g1, g2) {
+		t.Fatal("clones equal")
+	}
+	g2.Root = "T"
+	if EqualGrammar(g1, g2) {
+		t.Fatal("root must matter")
+	}
+	g2.Root = "S"
+	g2.Add(DefineProd("B", 0, Alt(SeqOf(Lit("b")))))
+	if EqualGrammar(g1, g2) {
+		t.Fatal("production count must matter")
+	}
+	if EqualGrammar(g1, nil) || !EqualGrammar(nil, nil) {
+		t.Fatal("nil grammar handling")
+	}
+}
+
+func TestStatsOfModule(t *testing.T) {
+	m := &Module{
+		Name:   "stats",
+		Params: []string{"L"},
+		Deps: []Dependency{
+			{Module: "base"},
+			{Module: "other", Modify: true},
+		},
+		Prods: []*Production{
+			DefineProd("A", 0, Alt(SeqOf(Lit("a")), SeqOf(Lit("b")))),
+			{Name: "B", Kind: Override, Choice: Alt(SeqOf(Lit("c")))},
+			{Name: "C", Kind: AddAlts, Choice: Alt(SeqOf(Lit("d")))},
+			{Name: "D", Kind: RemoveAlts, Removed: []string{"x"}},
+		},
+	}
+	s := StatsOf(m)
+	if s.Module != "stats" || s.Params != 1 || s.Imports != 1 || s.Modifies != 1 {
+		t.Fatalf("header stats wrong: %+v", s)
+	}
+	if s.Productions != 1 || s.Overrides != 1 || s.Additions != 1 || s.Removals != 1 {
+		t.Fatalf("kind stats wrong: %+v", s)
+	}
+	if s.Alternatives != 4 {
+		t.Fatalf("alternatives = %d", s.Alternatives)
+	}
+	if s.Expressions == 0 {
+		t.Fatal("expressions must be counted")
+	}
+	if !strings.Contains(s.Row(), "stats") || !strings.Contains(ModuleStatsHeader(), "module") {
+		t.Fatal("row rendering")
+	}
+}
+
+func TestStatsOfGrammar(t *testing.T) {
+	g := &Grammar{Root: "S", ModuleNames: []string{"a", "b"}}
+	g.Add(DefineProd("S", AttrPublic, Alt(SeqOf(Ref("T")))))
+	g.Add(DefineProd("T", AttrTransient|AttrText, Alt(SeqOf(Lit("t")))))
+	g.Add(DefineProd("V", AttrVoid, Alt(SeqOf(Lit("v")))))
+	s := StatsOfGrammar(g)
+	if s.Productions != 3 || s.Modules != 2 || s.Alternatives != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Transient != 1 || s.Void != 1 || s.Text != 1 || s.Public != 1 {
+		t.Fatalf("attr stats = %+v", s)
+	}
+	str := s.String()
+	for _, frag := range []string{"root=S", "productions=3", "transient=1"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("String missing %q: %s", frag, str)
+		}
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Class with odd bounds must panic")
+		}
+	}()
+	if FormatExpr(SeqOf()) != "()" {
+		t.Fatal("empty seq formatting")
+	}
+	Class('a')
+}
+
+func sampleLeftRec() *LeftRec {
+	return &LeftRec{
+		Name: "Sum",
+		Seed: Alt(SeqOf(Ref("Num"))),
+		Suffixes: []*Seq{
+			{Items: []Item{{Expr: Lit("+")}, BindItem("r", Ref("Num"))}, Ctor: "Add"},
+			{Items: []Item{{Expr: Lit("-")}, BindItem("r", Ref("Num"))}, Ctor: "Sub"},
+		},
+	}
+}
+
+func TestLeftRecCloneEqualWalk(t *testing.T) {
+	lr := sampleLeftRec()
+	c := CloneExpr(lr).(*LeftRec)
+	if !EqualExpr(lr, c) {
+		t.Fatal("clone must equal original")
+	}
+	c.Suffixes[0].Ctor = "Changed"
+	if EqualExpr(lr, c) {
+		t.Fatal("mutated clone must differ")
+	}
+	if lr.Suffixes[0].Ctor != "Add" {
+		t.Fatal("clone aliases original")
+	}
+	// Name participates in equality.
+	c2 := CloneExpr(lr).(*LeftRec)
+	c2.Name = "Other"
+	if EqualExpr(lr, c2) {
+		t.Fatal("name must matter")
+	}
+	// Suffix count participates.
+	c3 := CloneExpr(lr).(*LeftRec)
+	c3.Suffixes = c3.Suffixes[:1]
+	if EqualExpr(lr, c3) {
+		t.Fatal("suffix count must matter")
+	}
+	if EqualExpr(lr, Lit("x")) {
+		t.Fatal("kind must matter")
+	}
+
+	refs := 0
+	Walk(lr, func(e Expr) {
+		if _, ok := e.(*NonTerm); ok {
+			refs++
+		}
+	})
+	if refs != 3 {
+		t.Fatalf("walk found %d refs, want 3", refs)
+	}
+}
+
+func TestLeftRecRewriteAndPrint(t *testing.T) {
+	lr := CloneExpr(sampleLeftRec()).(*LeftRec)
+	Rewrite(lr, func(e Expr) Expr {
+		if nt, ok := e.(*NonTerm); ok && nt.Name == "Num" {
+			nt.Name = "Digit"
+		}
+		return e
+	})
+	out := FormatExpr(lr)
+	if !strings.Contains(out, "leftrec(") || !strings.Contains(out, "Digit") ||
+		!strings.Contains(out, "@Add") || !strings.Contains(out, " ; ") {
+		t.Fatalf("printed = %s", out)
+	}
+	if strings.Contains(out, "Num") {
+		t.Fatal("rewrite missed a reference")
+	}
+}
+
+func TestSpliceSeqDetection(t *testing.T) {
+	plain := SeqOf(Lit("a"))
+	if plain.IsSpliceSeq() {
+		t.Fatal("plain seq is not splice")
+	}
+	sp := &Seq{Items: []Item{
+		{Bind: BindHead, Expr: Lit("a")},
+		{Bind: BindTail, Expr: Ref("R")},
+	}}
+	if !sp.IsSpliceSeq() {
+		t.Fatal("splice seq not detected")
+	}
+	em := &Seq{Items: []Item{{Bind: BindEmpty, Expr: Eps()}}}
+	if !em.IsSpliceSeq() {
+		t.Fatal("empty splice seq not detected")
+	}
+	bound := &Seq{Items: []Item{BindItem("x", Lit("a"))}}
+	if bound.IsSpliceSeq() {
+		t.Fatal("ordinary binding is not splice")
+	}
+}

@@ -1,0 +1,276 @@
+package peg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatExpr renders an expression in the grammar language's concrete
+// syntax. The output re-parses to a structurally equal expression (see the
+// round-trip property tests in internal/syntax).
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, precChoice)
+	return b.String()
+}
+
+// Operator precedence levels for parenthesization while printing.
+const (
+	precChoice = iota
+	precSeq
+	precPrefix
+	precSuffix
+	precPrimary
+)
+
+func writeExpr(b *strings.Builder, e Expr, min int) {
+	switch e := e.(type) {
+	case nil:
+		b.WriteString("()")
+	case *Empty:
+		b.WriteString("()")
+	case *Literal:
+		b.WriteString(quoteLiteral(e.Text))
+	case *CharClass:
+		writeCharClass(b, e)
+	case *Any:
+		b.WriteByte('.')
+	case *NonTerm:
+		b.WriteString(e.Name)
+	case *Capture:
+		b.WriteString("$(")
+		writeExpr(b, e.Expr, precChoice)
+		b.WriteByte(')')
+	case *And:
+		if min > precPrefix {
+			b.WriteByte('(')
+			defer b.WriteByte(')')
+		}
+		b.WriteByte('&')
+		writeExpr(b, e.Expr, precSuffix)
+	case *Not:
+		if min > precPrefix {
+			b.WriteByte('(')
+			defer b.WriteByte(')')
+		}
+		b.WriteByte('!')
+		writeExpr(b, e.Expr, precSuffix)
+	case *Optional:
+		writeExpr(b, e.Expr, precPrimary)
+		b.WriteByte('?')
+	case *Repeat:
+		writeExpr(b, e.Expr, precPrimary)
+		if e.Min == 0 {
+			b.WriteByte('*')
+		} else {
+			b.WriteByte('+')
+		}
+	case *Seq:
+		if min > precSeq {
+			b.WriteByte('(')
+			defer b.WriteByte(')')
+		}
+		writeSeqBody(b, e)
+	case *Choice:
+		if min > precChoice {
+			b.WriteByte('(')
+			defer b.WriteByte(')')
+		}
+		for i, a := range e.Alts {
+			if i > 0 {
+				b.WriteString(" / ")
+			}
+			writeSeqBody(b, a)
+		}
+	case *LeftRec:
+		// Pseudo-syntax for synthetic left-recursion nodes; these never
+		// round-trip through the parser.
+		b.WriteString("leftrec(")
+		writeExpr(b, e.Seed, precChoice)
+		b.WriteString(" ; ")
+		for i, s := range e.Suffixes {
+			if i > 0 {
+				b.WriteString(" / ")
+			}
+			writeSeqBody(b, s)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<?%T>", e)
+	}
+}
+
+func writeSeqBody(b *strings.Builder, s *Seq) {
+	if s.Label != "" {
+		fmt.Fprintf(b, "<%s> ", s.Label)
+	}
+	if len(s.Items) == 0 {
+		b.WriteString("()")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if it.Bind != "" {
+			b.WriteString(it.Bind)
+			b.WriteByte(':')
+			writeExpr(b, it.Expr, precSuffix)
+		} else {
+			writeExpr(b, it.Expr, precPrefix)
+		}
+	}
+	if s.Ctor != "" {
+		fmt.Fprintf(b, " @%s", s.Ctor)
+	}
+}
+
+func writeCharClass(b *strings.Builder, e *CharClass) {
+	b.WriteByte('[')
+	if e.Negated {
+		b.WriteByte('^')
+	}
+	for _, r := range e.Ranges {
+		b.WriteString(classByte(r.Lo))
+		if r.Hi != r.Lo {
+			b.WriteByte('-')
+			b.WriteString(classByte(r.Hi))
+		}
+	}
+	b.WriteByte(']')
+}
+
+func classByte(c byte) string {
+	switch c {
+	case '\\':
+		return `\\`
+	case ']':
+		return `\]`
+	case '-':
+		return `\-`
+	case '^':
+		return `\^`
+	case '\n':
+		return `\n`
+	case '\r':
+		return `\r`
+	case '\t':
+		return `\t`
+	case '\'':
+		return `\'`
+	}
+	if c < 0x20 || c >= 0x7f {
+		return fmt.Sprintf(`\x%02x`, c)
+	}
+	return string(c)
+}
+
+func quoteLiteral(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if c < 0x20 || c >= 0x7f {
+				fmt.Fprintf(&b, `\x%02x`, c)
+			} else {
+				b.WriteByte(c)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// FormatProduction renders a full production declaration.
+func FormatProduction(p *Production) string {
+	var b strings.Builder
+	if p.Attrs != 0 {
+		b.WriteString(p.Attrs.String())
+		b.WriteByte(' ')
+	}
+	b.WriteString(p.Name)
+	b.WriteByte(' ')
+	b.WriteString(p.Kind.String())
+	switch p.Kind {
+	case RemoveAlts:
+		b.WriteByte(' ')
+		b.WriteString(strings.Join(p.Removed, ", "))
+	default:
+		b.WriteByte(' ')
+		writeExpr(&b, p.Choice, precChoice)
+		if p.Kind == AddAlts && p.Anchor != AtEnd {
+			fmt.Fprintf(&b, " %s <%s>", map[Anchor]string{Before: "before", After: "after"}[p.Anchor], p.AnchorLabel)
+		}
+	}
+	b.WriteString(" ;")
+	return b.String()
+}
+
+// FormatModule renders a module back to grammar-language source.
+func FormatModule(m *Module) string {
+	var b strings.Builder
+	b.WriteString("module ")
+	b.WriteString(m.Name)
+	if len(m.Params) > 0 {
+		fmt.Fprintf(&b, "(%s)", strings.Join(m.Params, ", "))
+	}
+	b.WriteString(";\n")
+	for _, d := range m.Deps {
+		if d.Modify {
+			b.WriteString("modify ")
+		} else {
+			b.WriteString("import ")
+		}
+		b.WriteString(d.Module)
+		if len(d.Args) > 0 {
+			fmt.Fprintf(&b, "(%s)", strings.Join(d.Args, ", "))
+		}
+		b.WriteString(";\n")
+	}
+	// Options print in sorted order for determinism.
+	var keys []string
+	for k := range m.Options {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		fmt.Fprintf(&b, "option %s = %s;\n", k, m.Options[k])
+	}
+	b.WriteByte('\n')
+	for _, p := range m.Prods {
+		b.WriteString(FormatProduction(p))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatGrammar renders a composed grammar as a single flat module.
+func FormatGrammar(g *Grammar) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// composed grammar, root %s\n", g.Root)
+	if len(g.ModuleNames) > 0 {
+		fmt.Fprintf(&b, "// modules: %s\n", strings.Join(g.ModuleNames, ", "))
+	}
+	for _, name := range g.Order {
+		b.WriteString(FormatProduction(g.Prods[name]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

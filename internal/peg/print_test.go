@@ -1,0 +1,146 @@
+package peg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatExprBasics(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Lit("if"), `"if"`},
+		{Lit("a\"b\\c"), `"a\"b\\c"`},
+		{Lit("nl\n tab\t cr\r"), `"nl\n tab\t cr\r"`},
+		{Lit("\x01\x7f"), `"\x01\x7f"`},
+		{Ref("Expr"), "Expr"},
+		{Dot(), "."},
+		{Eps(), "()"},
+		{Class('a', 'z', '0', '9'), "[a-z0-9]"},
+		{NotClass('\n', '\n'), "[^\\n]"},
+		{Class(']', ']', '-', '-', '^', '^', '\\', '\\'), `[\]\-\^\\]`},
+		{Class('\t', '\t', '\r', '\r', '\'', '\''), `[\t\r\']`},
+		{Class(0x00, 0x01), `[\x00-\x01]`},
+		{Star(Ref("A")), "A*"},
+		{Plus(Ref("A")), "A+"},
+		{Opt(Ref("A")), "A?"},
+		{Ahead(Ref("A")), "&A"},
+		{Never(Lit("x")), `!"x"`},
+		{Text(Plus(Class('0', '9'))), "$([0-9]+)"},
+		{SeqOf(Lit("a"), Lit("b")), `"a" "b"`},
+		{Alt(SeqOf(Lit("a")), SeqOf(Lit("b"))), `"a" / "b"`},
+		{Star(Alt(SeqOf(Lit("a")), SeqOf(Lit("b")))), `("a" / "b")*`},
+		{SeqOf(Alt(SeqOf(Lit("a")), SeqOf(Lit("b"))), Lit("c")), `("a" / "b") "c"`},
+		{Ctor("Pair", Ref("A"), Ref("B")), "A B @Pair"},
+		{Star(SeqOf(Lit("a"), Lit("b"))), `("a" "b")*`},
+		{Never(SeqOf(Lit("a"), Lit("b"))), `!("a" "b")`},
+	}
+	for _, c := range cases {
+		if got := FormatExpr(c.e); got != c.want {
+			t.Errorf("FormatExpr = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFormatExprBindingsAndLabels(t *testing.T) {
+	s := &Seq{
+		Label: "add",
+		Items: []Item{
+			BindItem("l", Ref("Mul")),
+			{Expr: Lit("+")},
+			BindItem("r", Ref("Add")),
+		},
+		Ctor: "Add",
+	}
+	want := `<add> l:Mul "+" r:Add @Add`
+	if got := FormatExpr(s); got != want {
+		t.Fatalf("FormatExpr = %q, want %q", got, want)
+	}
+	// A bound suffix keeps tight binding: x:(A)* formats as x:A*.
+	b := &Seq{Items: []Item{BindItem("x", Star(Ref("A")))}}
+	if got := FormatExpr(b); got != "x:A*" {
+		t.Fatalf("bound repeat = %q", got)
+	}
+	// A bound choice needs parentheses.
+	bc := &Seq{Items: []Item{BindItem("x", Alt(SeqOf(Ref("A")), SeqOf(Ref("B"))))}}
+	if got := FormatExpr(bc); got != "x:(A / B)" {
+		t.Fatalf("bound choice = %q", got)
+	}
+	// A prefix operator under a binding needs parentheses too.
+	bp := &Seq{Items: []Item{BindItem("x", Never(Ref("A")))}}
+	if got := FormatExpr(bp); got != "x:(!A)" {
+		t.Fatalf("bound not = %q", got)
+	}
+}
+
+func TestFormatProduction(t *testing.T) {
+	p := DefineProd("Sum", AttrPublic|AttrTransient, Alt(SeqOf(Ref("A"))))
+	if got := FormatProduction(p); got != "public transient Sum = A ;" {
+		t.Fatalf("define = %q", got)
+	}
+	o := &Production{Name: "X", Kind: Override, Choice: Alt(SeqOf(Lit("x")))}
+	if got := FormatProduction(o); got != `X := "x" ;` {
+		t.Fatalf("override = %q", got)
+	}
+	a := &Production{Name: "X", Kind: AddAlts, Choice: Alt(SeqOf(Lit("y"))), Anchor: Before, AnchorLabel: "base"}
+	if got := FormatProduction(a); got != `X += "y" before <base> ;` {
+		t.Fatalf("add = %q", got)
+	}
+	ae := &Production{Name: "X", Kind: AddAlts, Choice: Alt(SeqOf(Lit("y")))}
+	if got := FormatProduction(ae); got != `X += "y" ;` {
+		t.Fatalf("append = %q", got)
+	}
+	r := &Production{Name: "X", Kind: RemoveAlts, Removed: []string{"a", "b"}}
+	if got := FormatProduction(r); got != "X -= a, b ;" {
+		t.Fatalf("remove = %q", got)
+	}
+}
+
+func TestFormatModuleAndGrammar(t *testing.T) {
+	m := &Module{
+		Name:   "demo.calc",
+		Params: []string{"Space"},
+		Deps: []Dependency{
+			{Module: "demo.lex", Args: []string{"x"}},
+			{Module: "demo.base", Modify: true},
+		},
+		Options: map[string]string{"root": "Sum", "alpha": "1"},
+		Prods: []*Production{
+			DefineProd("Sum", AttrPublic, Alt(SeqOf(Ref("N")))),
+		},
+	}
+	got := FormatModule(m)
+	for _, frag := range []string{
+		"module demo.calc(Space);",
+		"import demo.lex(x);",
+		"modify demo.base;",
+		"option alpha = 1;",
+		"option root = Sum;",
+		"public Sum = N ;",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("FormatModule missing %q in:\n%s", frag, got)
+		}
+	}
+	// Options must come out sorted (alpha before root).
+	if strings.Index(got, "option alpha") > strings.Index(got, "option root") {
+		t.Error("options not sorted")
+	}
+
+	g := &Grammar{Root: "Sum", ModuleNames: []string{"demo.calc"}}
+	g.Add(DefineProd("Sum", AttrPublic, Alt(SeqOf(Ref("N")))))
+	g.Add(DefineProd("N", AttrText, Alt(SeqOf(Plus(Class('0', '9'))))))
+	gs := FormatGrammar(g)
+	for _, frag := range []string{"root Sum", "modules: demo.calc", "public Sum = N ;", "text N = [0-9]+ ;"} {
+		if !strings.Contains(gs, frag) {
+			t.Errorf("FormatGrammar missing %q in:\n%s", frag, gs)
+		}
+	}
+}
+
+func TestFormatUnknownExpr(t *testing.T) {
+	if got := FormatExpr(nil); got != "()" {
+		t.Fatalf("nil expr = %q", got)
+	}
+}

@@ -1,0 +1,388 @@
+// Package syntax implements the front end for the modpeg grammar language:
+// a lexer and recursive-descent parser that turn `.mpeg` module sources into
+// peg.Module values.
+//
+// # The grammar language
+//
+// A module file looks like:
+//
+//	module calc.base;
+//
+//	import calc.lex;
+//	modify calc.core;
+//	option root = Program;
+//
+//	public transient Program = Spacing e:Sum EOF ;
+//
+//	Sum =
+//	    <add> l:Prod "+" Spacing r:Sum @Add
+//	  / <sub> l:Prod "-" Spacing r:Sum @Sub
+//	  / Prod
+//	  ;
+//
+//	Number = $([0-9]+) Spacing ;
+//	void Spacing = ([ \t\n\r] / Comment)* ;
+//
+// Module headers may declare parameters (`module calc.expr(Space);`) that
+// dependencies instantiate with arguments (`import calc.expr(my.Space);`).
+// Modification modules change productions of the modules they `modify`:
+//
+//	Sum += <mod> l:Prod "%" Spacing r:Sum @Mod after <sub> ;
+//	Sum -= sub ;
+//	Number := $([0-9]+ ("." [0-9]+)?) Spacing ;
+//
+// Lexical notes: `//` and `/* */` comments; string literals in double or
+// single quotes with the usual escapes; character classes in brackets;
+// production names start with an upper-case letter while attribute and
+// structure keywords are lower-case; qualified names (`calc.lex.Space`)
+// must be written without interior spaces, since a free-standing `.` is the
+// any-byte expression.
+package syntax
+
+import (
+	"fmt"
+	"strings"
+
+	"modpeg/internal/text"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // literal; payload is the decoded text
+	tokClass  // character class; payload is the raw inside of [ ]
+	tokSemi
+	tokLParen
+	tokRParen
+	tokSlash
+	tokAmp
+	tokBang
+	tokQuest
+	tokStar
+	tokPlus
+	tokDot
+	tokColon
+	tokComma
+	tokAt
+	tokLAngle
+	tokRAngle
+	tokDollar
+	tokEq      // =
+	tokColonEq // :=
+	tokPlusEq  // +=
+	tokMinusEq // -=
+	tokError   // lexical error; payload is the message
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string literal"
+	case tokClass:
+		return "character class"
+	case tokSemi:
+		return "';'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokSlash:
+		return "'/'"
+	case tokAmp:
+		return "'&'"
+	case tokBang:
+		return "'!'"
+	case tokQuest:
+		return "'?'"
+	case tokStar:
+		return "'*'"
+	case tokPlus:
+		return "'+'"
+	case tokDot:
+		return "'.'"
+	case tokColon:
+		return "':'"
+	case tokComma:
+		return "','"
+	case tokAt:
+		return "'@'"
+	case tokLAngle:
+		return "'<'"
+	case tokRAngle:
+		return "'>'"
+	case tokDollar:
+		return "'$'"
+	case tokEq:
+		return "'='"
+	case tokColonEq:
+		return "':='"
+	case tokPlusEq:
+		return "'+='"
+	case tokMinusEq:
+		return "'-='"
+	case tokError:
+		return "lexical error"
+	}
+	return fmt.Sprintf("tokKind(%d)", int(k))
+}
+
+// token is one lexical token with its decoded payload and source span.
+type token struct {
+	kind tokKind
+	text string
+	span text.Span
+}
+
+// lexer scans an .mpeg source into tokens.
+type lexer struct {
+	src *text.Source
+	in  string
+	pos int
+}
+
+func newLexer(src *text.Source) *lexer {
+	return &lexer{src: src, in: src.Content()}
+}
+
+func (l *lexer) errTok(start int, format string, args ...any) token {
+	return token{kind: tokError, text: fmt.Sprintf(format, args...),
+		span: text.NewSpan(text.Pos(start), text.Pos(l.pos))}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// skipSpace consumes whitespace and comments; it returns false on an
+// unterminated block comment (and positions at its start for the error).
+func (l *lexer) skipSpace() (ok bool, errStart int) {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.in) && l.in[l.pos+1] == '/':
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.in) && l.in[l.pos+1] == '*':
+			start := l.pos
+			l.pos += 2
+			for {
+				if l.pos+1 >= len(l.in) {
+					l.pos = len(l.in)
+					return false, start
+				}
+				if l.in[l.pos] == '*' && l.in[l.pos+1] == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return true, 0
+		}
+	}
+	return true, 0
+}
+
+// next scans and returns the next token.
+func (l *lexer) next() token {
+	if ok, errStart := l.skipSpace(); !ok {
+		return l.errTok(errStart, "unterminated block comment")
+	}
+	start := l.pos
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, span: text.NewSpan(text.Pos(start), text.Pos(start))}
+	}
+	c := l.in[l.pos]
+	mk := func(k tokKind, n int) token {
+		l.pos += n
+		return token{kind: k, text: l.in[start:l.pos],
+			span: text.NewSpan(text.Pos(start), text.Pos(l.pos))}
+	}
+	switch {
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.in) {
+			if isIdentPart(l.in[l.pos]) {
+				l.pos++
+				continue
+			}
+			// Qualified names: a dot immediately followed by an identifier
+			// start extends the name ("calc.lex"). A free-standing dot is
+			// the any-byte token.
+			if l.in[l.pos] == '.' && l.pos+1 < len(l.in) && isIdentStart(l.in[l.pos+1]) {
+				l.pos += 2
+				continue
+			}
+			break
+		}
+		return token{kind: tokIdent, text: l.in[start:l.pos],
+			span: text.NewSpan(text.Pos(start), text.Pos(l.pos))}
+	case c == '"' || c == '\'':
+		return l.scanString(c)
+	case c == '[':
+		return l.scanClass()
+	}
+	switch c {
+	case ';':
+		return mk(tokSemi, 1)
+	case '(':
+		return mk(tokLParen, 1)
+	case ')':
+		return mk(tokRParen, 1)
+	case '/':
+		return mk(tokSlash, 1)
+	case '&':
+		return mk(tokAmp, 1)
+	case '!':
+		return mk(tokBang, 1)
+	case '?':
+		return mk(tokQuest, 1)
+	case '*':
+		return mk(tokStar, 1)
+	case '.':
+		return mk(tokDot, 1)
+	case ',':
+		return mk(tokComma, 1)
+	case '@':
+		return mk(tokAt, 1)
+	case '<':
+		return mk(tokLAngle, 1)
+	case '>':
+		return mk(tokRAngle, 1)
+	case '$':
+		return mk(tokDollar, 1)
+	case '=':
+		return mk(tokEq, 1)
+	case ':':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			return mk(tokColonEq, 2)
+		}
+		return mk(tokColon, 1)
+	case '+':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			return mk(tokPlusEq, 2)
+		}
+		return mk(tokPlus, 1)
+	case '-':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			return mk(tokMinusEq, 2)
+		}
+	}
+	l.pos++
+	return l.errTok(start, "unexpected character %q", c)
+}
+
+// scanString scans a quoted literal, decoding escapes into the payload.
+func (l *lexer) scanString(quote byte) token {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.in) || l.in[l.pos] == '\n' {
+			return l.errTok(start, "unterminated string literal")
+		}
+		c := l.in[l.pos]
+		if c == quote {
+			l.pos++
+			return token{kind: tokString, text: b.String(),
+				span: text.NewSpan(text.Pos(start), text.Pos(l.pos))}
+		}
+		if c == '\\' {
+			dec, n, err := decodeEscape(l.in[l.pos:])
+			if err != "" {
+				l.pos++
+				return l.errTok(start, "%s", err)
+			}
+			b.WriteByte(dec)
+			l.pos += n
+			continue
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+}
+
+// scanClass scans a bracketed character class; the payload is the raw text
+// between the brackets (decoded later by the parser, which understands
+// ranges).
+func (l *lexer) scanClass() token {
+	start := l.pos
+	l.pos++ // '['
+	for {
+		if l.pos >= len(l.in) || l.in[l.pos] == '\n' {
+			return l.errTok(start, "unterminated character class")
+		}
+		c := l.in[l.pos]
+		if c == ']' {
+			l.pos++
+			return token{kind: tokClass, text: l.in[start+1 : l.pos-1],
+				span: text.NewSpan(text.Pos(start), text.Pos(l.pos))}
+		}
+		if c == '\\' {
+			if l.pos+1 >= len(l.in) {
+				return l.errTok(start, "unterminated character class")
+			}
+			l.pos += 2
+			continue
+		}
+		l.pos++
+	}
+}
+
+// decodeEscape decodes a backslash escape at the head of s, returning the
+// byte value, the number of input bytes consumed, and an error message
+// ("" on success).
+func decodeEscape(s string) (byte, int, string) {
+	if len(s) < 2 {
+		return 0, 0, "truncated escape sequence"
+	}
+	switch s[1] {
+	case 'n':
+		return '\n', 2, ""
+	case 'r':
+		return '\r', 2, ""
+	case 't':
+		return '\t', 2, ""
+	case '0':
+		return 0, 2, ""
+	case '\\', '\'', '"', ']', '[', '-', '^':
+		return s[1], 2, ""
+	case 'x':
+		if len(s) < 4 {
+			return 0, 0, "truncated \\x escape"
+		}
+		hi, ok1 := hexVal(s[2])
+		lo, ok2 := hexVal(s[3])
+		if !ok1 || !ok2 {
+			return 0, 0, fmt.Sprintf("invalid \\x escape %q", s[:4])
+		}
+		return hi<<4 | lo, 4, ""
+	}
+	return 0, 0, fmt.Sprintf("unknown escape sequence \\%c", s[1])
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

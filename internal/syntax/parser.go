@@ -1,0 +1,528 @@
+package syntax
+
+import (
+	"fmt"
+	"strings"
+
+	"modpeg/internal/peg"
+	"modpeg/internal/text"
+)
+
+// Parse parses a complete module source into a peg.Module. On failure it
+// returns every diagnostic found (the parser recovers at declaration
+// boundaries), as a *text.ErrorList.
+func Parse(src *text.Source) (*peg.Module, error) {
+	p := &parser{lex: newLexer(src), src: src}
+	p.advance()
+	m := p.parseModule()
+	if err := p.errs.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ParseString parses module source given directly as a string; name is used
+// for diagnostics.
+func ParseString(name, source string) (*peg.Module, error) {
+	return Parse(text.NewSource(name, source))
+}
+
+// ParseExprString parses a single parsing expression, for tools and tests.
+func ParseExprString(source string) (*peg.Choice, error) {
+	m, err := ParseString("<expr>", "module m;\nX = "+source+" ;\n")
+	if err != nil {
+		return nil, err
+	}
+	return m.Prods[0].Choice, nil
+}
+
+// bailout is the sentinel panic used for parse-error recovery.
+type bailout struct{}
+
+type parser struct {
+	lex  *lexer
+	src  *text.Source
+	tok  token
+	errs text.ErrorList
+}
+
+func (p *parser) advance() {
+	p.tok = p.lex.next()
+	if p.tok.kind == tokError {
+		p.errs.Addf(p.src, p.tok.span, "%s", p.tok.text)
+		// Treat lexical errors as hard: skip to end of input so the parser
+		// does not cascade.
+		p.tok = token{kind: tokEOF, span: p.tok.span}
+	}
+}
+
+func (p *parser) fail(sp text.Span, format string, args ...any) {
+	p.errs.Addf(p.src, sp, format, args...)
+	panic(bailout{})
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(k tokKind) token {
+	if p.tok.kind != k {
+		p.fail(p.tok.span, "expected %s, found %s", k, p.describe())
+	}
+	t := p.tok
+	p.advance()
+	return t
+}
+
+func (p *parser) describe() string {
+	switch p.tok.kind {
+	case tokIdent:
+		return fmt.Sprintf("%q", p.tok.text)
+	case tokString:
+		return fmt.Sprintf("string %q", p.tok.text)
+	default:
+		return p.tok.kind.String()
+	}
+}
+
+// at reports whether the current token is an identifier with the exact
+// given text (used for soft keywords).
+func (p *parser) at(word string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == word
+}
+
+// recoverTo skips tokens until just past the next ';' (or to EOF).
+func (p *parser) recoverTo() {
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokSemi {
+			p.advance()
+			return
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseModule() *peg.Module {
+	m := &peg.Module{Source: p.src, Options: map[string]string{}}
+	func() {
+		defer p.recoverDecl()
+		start := p.tok.span
+		if !p.at("module") {
+			p.fail(p.tok.span, "expected 'module' header, found %s", p.describe())
+		}
+		p.advance()
+		m.Name = p.expect(tokIdent).text
+		if p.tok.kind == tokLParen {
+			p.advance()
+			for {
+				m.Params = append(m.Params, p.parseUpperName("module parameter"))
+				if p.tok.kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+			p.expect(tokRParen)
+		}
+		semi := p.expect(tokSemi)
+		m.Sp = start.Union(semi.span)
+	}()
+
+	for p.tok.kind != tokEOF {
+		func() {
+			defer p.recoverDecl()
+			switch {
+			case p.at("import"), p.at("modify"):
+				m.Deps = append(m.Deps, p.parseDependency())
+			case p.at("option"):
+				k, v := p.parseOption()
+				m.Options[k] = v
+			case p.at("module"):
+				p.fail(p.tok.span, "duplicate 'module' header")
+			default:
+				m.Prods = append(m.Prods, p.parseProduction())
+			}
+		}()
+	}
+	return m
+}
+
+// recoverDecl converts a bailout panic into declaration-level recovery.
+func (p *parser) recoverDecl() {
+	if r := recover(); r != nil {
+		if _, ok := r.(bailout); !ok {
+			panic(r)
+		}
+		p.recoverTo()
+	}
+}
+
+func (p *parser) parseDependency() peg.Dependency {
+	d := peg.Dependency{Modify: p.at("modify"), Sp: p.tok.span}
+	p.advance()
+	d.Module = p.expect(tokIdent).text
+	if p.tok.kind == tokLParen {
+		p.advance()
+		for {
+			d.Args = append(d.Args, p.expect(tokIdent).text)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+		p.expect(tokRParen)
+	}
+	semi := p.expect(tokSemi)
+	d.Sp = d.Sp.Union(semi.span)
+	return d
+}
+
+func (p *parser) parseOption() (string, string) {
+	p.advance() // 'option'
+	key := p.expect(tokIdent).text
+	p.expect(tokEq)
+	var val string
+	switch p.tok.kind {
+	case tokIdent, tokString:
+		val = p.tok.text
+		p.advance()
+	default:
+		p.fail(p.tok.span, "expected option value, found %s", p.describe())
+	}
+	p.expect(tokSemi)
+	return key, val
+}
+
+// parseUpperName consumes an identifier that must start with an upper-case
+// letter (optionally module-qualified, in which case the final segment must
+// be upper-case).
+func (p *parser) parseUpperName(what string) string {
+	t := p.expect(tokIdent)
+	if !isProductionName(t.text) {
+		p.fail(t.span, "%s %q must start with an upper-case letter", what, t.text)
+	}
+	return t.text
+}
+
+// isProductionName reports whether the (possibly qualified) name's final
+// segment starts with an upper-case letter.
+func isProductionName(name string) bool {
+	seg := name
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		seg = name[i+1:]
+	}
+	return seg != "" && seg[0] >= 'A' && seg[0] <= 'Z'
+}
+
+func (p *parser) parseProduction() *peg.Production {
+	prod := &peg.Production{Sp: p.tok.span}
+	// Attributes: lower-case identifiers before the production name.
+	for p.tok.kind == tokIdent && !isProductionName(p.tok.text) {
+		bit, ok := peg.ParseAttr(p.tok.text)
+		if !ok {
+			p.fail(p.tok.span, "unknown production attribute %q", p.tok.text)
+		}
+		if prod.Attrs.Has(bit) {
+			p.errs.Addf(p.src, p.tok.span, "duplicate attribute %q", p.tok.text)
+		}
+		prod.Attrs |= bit
+		p.advance()
+	}
+	prod.Name = p.parseUpperName("production name")
+
+	switch p.tok.kind {
+	case tokEq:
+		prod.Kind = peg.Define
+	case tokColonEq:
+		prod.Kind = peg.Override
+	case tokPlusEq:
+		prod.Kind = peg.AddAlts
+	case tokMinusEq:
+		prod.Kind = peg.RemoveAlts
+	default:
+		p.fail(p.tok.span, "expected '=', ':=', '+=' or '-=' after production name, found %s", p.describe())
+	}
+	p.advance()
+
+	if prod.Kind == peg.RemoveAlts {
+		for {
+			t := p.expect(tokIdent)
+			prod.Removed = append(prod.Removed, t.text)
+			if p.tok.kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	} else {
+		prod.Choice = p.parseChoice()
+		// A lower-case identifier left over after the body is almost always
+		// a mis-cased nonterminal reference; say so instead of a bare
+		// "expected ';'".
+		if p.tok.kind == tokIdent && !isProductionName(p.tok.text) &&
+			!(prod.Kind == peg.AddAlts && (p.at("before") || p.at("after"))) {
+			p.fail(p.tok.span, "reference %q must start with an upper-case letter", p.tok.text)
+		}
+		if prod.Kind == peg.AddAlts && (p.at("before") || p.at("after")) {
+			if p.at("before") {
+				prod.Anchor = peg.Before
+			} else {
+				prod.Anchor = peg.After
+			}
+			p.advance()
+			p.expect(tokLAngle)
+			prod.AnchorLabel = p.expect(tokIdent).text
+			p.expect(tokRAngle)
+		}
+	}
+	semi := p.expect(tokSemi)
+	prod.Sp = prod.Sp.Union(semi.span)
+	return prod
+}
+
+func (p *parser) parseChoice() *peg.Choice {
+	start := p.tok.span
+	c := &peg.Choice{Sp: start}
+	c.Alts = append(c.Alts, p.parseSequence())
+	for p.tok.kind == tokSlash {
+		p.advance()
+		c.Alts = append(c.Alts, p.parseSequence())
+	}
+	c.Sp = start.Union(c.Alts[len(c.Alts)-1].Span())
+	return c
+}
+
+func (p *parser) parseSequence() *peg.Seq {
+	start := p.tok.span
+	s := &peg.Seq{Sp: start}
+	if p.tok.kind == tokLAngle {
+		p.advance()
+		s.Label = p.expect(tokIdent).text
+		p.expect(tokRAngle)
+	}
+	for p.startsItem() {
+		s.Items = append(s.Items, p.parseItem())
+	}
+	if p.tok.kind == tokAt {
+		p.advance()
+		s.Ctor = p.parseUpperName("node constructor")
+	}
+	if len(s.Items) > 0 {
+		s.Sp = start.Union(s.Items[len(s.Items)-1].Expr.Span())
+	} else {
+		// Normalize epsilon alternatives to an explicit Empty item so that
+		// printing and re-parsing are stable.
+		s.Items = []peg.Item{{Expr: &peg.Empty{Sp: start}}}
+	}
+	return s
+}
+
+// startsItem reports whether the current token can begin a sequence item.
+// Lower-case identifiers begin an item only as bindings (followed by ':'),
+// which keeps soft keywords like 'before'/'after' out of item position.
+func (p *parser) startsItem() bool {
+	switch p.tok.kind {
+	case tokString, tokClass, tokDot, tokLParen, tokAmp, tokBang, tokDollar:
+		return true
+	case tokIdent:
+		if isProductionName(p.tok.text) {
+			return true
+		}
+		// Peek: binding name? Save lexer state cheaply by re-scanning.
+		save := *p.lex
+		nt := p.lex.next()
+		*p.lex = save
+		return nt.kind == tokColon
+	}
+	return false
+}
+
+func (p *parser) parseItem() peg.Item {
+	var it peg.Item
+	if p.tok.kind == tokIdent && !isProductionName(p.tok.text) {
+		// Must be a binding (startsItem guaranteed the ':').
+		it.Bind = p.tok.text
+		p.advance()
+		p.expect(tokColon)
+		it.Expr = p.parseSuffixed()
+		return it
+	}
+	it.Expr = p.parsePrefixed()
+	return it
+}
+
+func (p *parser) parsePrefixed() peg.Expr {
+	start := p.tok.span
+	switch p.tok.kind {
+	case tokAmp:
+		p.advance()
+		e := p.parseSuffixed()
+		return &peg.And{Expr: e, Sp: start.Union(e.Span())}
+	case tokBang:
+		p.advance()
+		e := p.parseSuffixed()
+		return &peg.Not{Expr: e, Sp: start.Union(e.Span())}
+	}
+	return p.parseSuffixed()
+}
+
+func (p *parser) parseSuffixed() peg.Expr {
+	e := p.parsePrimary()
+	for {
+		switch p.tok.kind {
+		case tokQuest:
+			e = &peg.Optional{Expr: e, Sp: e.Span().Union(p.tok.span)}
+			p.advance()
+		case tokStar:
+			e = &peg.Repeat{Min: 0, Expr: e, Sp: e.Span().Union(p.tok.span)}
+			p.advance()
+		case tokPlus:
+			e = &peg.Repeat{Min: 1, Expr: e, Sp: e.Span().Union(p.tok.span)}
+			p.advance()
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) parsePrimary() peg.Expr {
+	start := p.tok.span
+	switch p.tok.kind {
+	case tokString:
+		t := p.tok
+		p.advance()
+		if t.text == "" {
+			return &peg.Empty{Sp: t.span}
+		}
+		return &peg.Literal{Text: t.text, Sp: t.span}
+	case tokClass:
+		t := p.tok
+		p.advance()
+		return p.decodeClass(t)
+	case tokDot:
+		p.advance()
+		return &peg.Any{Sp: start}
+	case tokDollar:
+		p.advance()
+		p.expect(tokLParen)
+		inner := p.parseChoice()
+		end := p.expect(tokRParen)
+		return &peg.Capture{Expr: simplifyChoice(inner), Sp: start.Union(end.span)}
+	case tokLParen:
+		p.advance()
+		if p.tok.kind == tokRParen {
+			end := p.tok
+			p.advance()
+			return &peg.Empty{Sp: start.Union(end.span)}
+		}
+		inner := p.parseChoice()
+		end := p.expect(tokRParen)
+		e := simplifyChoice(inner)
+		setSpan(e, start.Union(end.span))
+		return e
+	case tokIdent:
+		if !isProductionName(p.tok.text) {
+			p.fail(p.tok.span, "reference %q must start with an upper-case letter", p.tok.text)
+		}
+		t := p.tok
+		p.advance()
+		return &peg.NonTerm{Name: t.text, Sp: t.span}
+	}
+	p.fail(p.tok.span, "expected a parsing expression, found %s", p.describe())
+	return nil
+}
+
+// simplifyChoice unwraps single-alternative, single-item, unlabeled,
+// unconstructed choices produced by parenthesization, so that "(A)" parses
+// to exactly the reference A.
+func simplifyChoice(c *peg.Choice) peg.Expr {
+	if len(c.Alts) == 1 {
+		a := c.Alts[0]
+		if a.Label == "" && a.Ctor == "" && len(a.Items) == 1 && a.Items[0].Bind == "" {
+			return a.Items[0].Expr
+		}
+		if a.Label == "" && a.Ctor == "" && !a.HasBindings() {
+			return a
+		}
+	}
+	return c
+}
+
+// setSpan widens an expression's span to cover its parentheses, so that
+// diagnostics point at the whole group.
+func setSpan(e peg.Expr, sp text.Span) {
+	switch e := e.(type) {
+	case *peg.Empty:
+		e.Sp = sp
+	case *peg.Literal:
+		e.Sp = sp
+	case *peg.CharClass:
+		e.Sp = sp
+	case *peg.Any:
+		e.Sp = sp
+	case *peg.NonTerm:
+		e.Sp = sp
+	case *peg.Seq:
+		e.Sp = sp
+	case *peg.Choice:
+		e.Sp = sp
+	case *peg.Repeat:
+		e.Sp = sp
+	case *peg.Optional:
+		e.Sp = sp
+	case *peg.And:
+		e.Sp = sp
+	case *peg.Not:
+		e.Sp = sp
+	case *peg.Capture:
+		e.Sp = sp
+	}
+}
+
+// decodeClass parses the raw interior of a [...] token into a CharClass.
+func (p *parser) decodeClass(t token) *peg.CharClass {
+	raw := t.text
+	c := &peg.CharClass{Sp: t.span}
+	i := 0
+	if strings.HasPrefix(raw, "^") {
+		c.Negated = true
+		i = 1
+	}
+	readByte := func() (byte, bool) {
+		if i >= len(raw) {
+			return 0, false
+		}
+		if raw[i] == '\\' {
+			b, n, err := decodeEscape(raw[i:])
+			if err != "" {
+				p.errs.Addf(p.src, t.span, "in character class: %s", err)
+				i = len(raw)
+				return 0, false
+			}
+			i += n
+			return b, true
+		}
+		b := raw[i]
+		i++
+		return b, true
+	}
+	for i < len(raw) {
+		lo, ok := readByte()
+		if !ok {
+			break
+		}
+		hi := lo
+		if i < len(raw) && raw[i] == '-' && i+1 < len(raw) {
+			i++ // '-'
+			h, ok := readByte()
+			if !ok {
+				break
+			}
+			hi = h
+		}
+		if hi < lo {
+			p.errs.Addf(p.src, t.span, "character class range out of order: %q > %q", lo, hi)
+			lo, hi = hi, lo
+		}
+		c.Ranges = append(c.Ranges, peg.CharRange{Lo: lo, Hi: hi})
+	}
+	if len(c.Ranges) == 0 {
+		p.errs.Addf(p.src, t.span, "empty character class")
+	}
+	return c
+}

@@ -1,0 +1,329 @@
+package syntax
+
+import (
+	"strings"
+	"testing"
+
+	"modpeg/internal/peg"
+)
+
+func mustParse(t *testing.T, src string) *peg.Module {
+	t.Helper()
+	m, err := ParseString("test.mpeg", src)
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	return m
+}
+
+func mustExpr(t *testing.T, src string) *peg.Choice {
+	t.Helper()
+	c, err := ParseExprString(src)
+	if err != nil {
+		t.Fatalf("parse expr %q failed: %v", src, err)
+	}
+	return c
+}
+
+func TestParseModuleHeader(t *testing.T) {
+	m := mustParse(t, "module calc.base;\n")
+	if m.Name != "calc.base" || len(m.Params) != 0 || len(m.Prods) != 0 {
+		t.Fatalf("module = %+v", m)
+	}
+	m = mustParse(t, "module calc.expr(Space, Atom);\n")
+	if m.Name != "calc.expr" || len(m.Params) != 2 || m.Params[0] != "Space" || m.Params[1] != "Atom" {
+		t.Fatalf("params = %v", m.Params)
+	}
+}
+
+func TestParseDependencies(t *testing.T) {
+	m := mustParse(t, `
+module a.b;
+import c.d;
+import c.expr(a.Space, a.Atom);
+modify c.base;
+`)
+	if len(m.Deps) != 3 {
+		t.Fatalf("deps = %d", len(m.Deps))
+	}
+	if m.Deps[0].Module != "c.d" || m.Deps[0].Modify || m.Deps[0].Args != nil {
+		t.Fatalf("dep0 = %+v", m.Deps[0])
+	}
+	if m.Deps[1].Module != "c.expr" || len(m.Deps[1].Args) != 2 || m.Deps[1].Args[1] != "a.Atom" {
+		t.Fatalf("dep1 = %+v", m.Deps[1])
+	}
+	if !m.Deps[2].Modify {
+		t.Fatal("dep2 must be a modify clause")
+	}
+}
+
+func TestParseOptions(t *testing.T) {
+	m := mustParse(t, `
+module a;
+option root = Program;
+option flavor = "fancy";
+`)
+	if m.Options["root"] != "Program" || m.Options["flavor"] != "fancy" {
+		t.Fatalf("options = %v", m.Options)
+	}
+}
+
+func TestParseProductionAttributes(t *testing.T) {
+	m := mustParse(t, `
+module a;
+public transient Program = "p" ;
+void Spacing = " " ;
+text Number = [0-9]+ ;
+memo Expr = "e" ;
+`)
+	if len(m.Prods) != 4 {
+		t.Fatalf("prods = %d", len(m.Prods))
+	}
+	if !m.Prods[0].Attrs.Has(peg.AttrPublic | peg.AttrTransient) {
+		t.Fatal("attrs of Program")
+	}
+	if !m.Prods[1].Attrs.Has(peg.AttrVoid) || !m.Prods[2].Attrs.Has(peg.AttrText) || !m.Prods[3].Attrs.Has(peg.AttrMemo) {
+		t.Fatal("attrs of others")
+	}
+}
+
+func TestParseExpressionShapes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want peg.Expr
+	}{
+		{`"if"`, peg.Alt(peg.SeqOf(peg.Lit("if")))},
+		{`'x'`, peg.Alt(peg.SeqOf(peg.Lit("x")))},
+		{`A B`, peg.Alt(peg.SeqOf(peg.Ref("A"), peg.Ref("B")))},
+		{`A / B`, peg.Alt(peg.SeqOf(peg.Ref("A")), peg.SeqOf(peg.Ref("B")))},
+		{`A* B+ C?`, peg.Alt(peg.SeqOf(peg.Star(peg.Ref("A")), peg.Plus(peg.Ref("B")), peg.Opt(peg.Ref("C"))))},
+		{`&A !B`, peg.Alt(peg.SeqOf(peg.Ahead(peg.Ref("A")), peg.Never(peg.Ref("B"))))},
+		{`.`, peg.Alt(peg.SeqOf(peg.Dot()))},
+		{`()`, peg.Alt(peg.SeqOf(peg.Eps()))},
+		{`""`, peg.Alt(peg.SeqOf(peg.Eps()))},
+		{`$([0-9]+)`, peg.Alt(peg.SeqOf(peg.Text(peg.Plus(peg.Class('0', '9')))))},
+		{`[a-z0-9_]`, peg.Alt(peg.SeqOf(peg.Class('a', 'z', '0', '9', '_', '_')))},
+		{`[^"\\]`, peg.Alt(peg.SeqOf(peg.NotClass('"', '"', '\\', '\\')))},
+		{`[\t\n\r ]`, peg.Alt(peg.SeqOf(peg.Class('\t', '\t', '\n', '\n', '\r', '\r', ' ', ' ')))},
+		{`("a" / "b") "c"`, peg.Alt(peg.SeqOf(peg.Alt(peg.SeqOf(peg.Lit("a")), peg.SeqOf(peg.Lit("b"))), peg.Lit("c")))},
+		{`(A)`, peg.Alt(peg.SeqOf(peg.Ref("A")))},
+		{`calc.lex.Space`, peg.Alt(peg.SeqOf(peg.Ref("calc.lex.Space")))},
+		{`"\x41\n\t\\\"" `, peg.Alt(peg.SeqOf(peg.Lit("A\n\t\\\"")))},
+	}
+	for _, c := range cases {
+		got := mustExpr(t, c.src)
+		if !peg.EqualExpr(got, c.want) {
+			t.Errorf("parse %q = %s, want %s", c.src, peg.FormatExpr(got), peg.FormatExpr(c.want))
+		}
+	}
+}
+
+func TestParseBindingsLabelsCtors(t *testing.T) {
+	c := mustExpr(t, `<add> l:Mul "+" r:Sum @Add / Mul`)
+	if len(c.Alts) != 2 {
+		t.Fatalf("alts = %d", len(c.Alts))
+	}
+	a := c.Alts[0]
+	if a.Label != "add" || a.Ctor != "Add" {
+		t.Fatalf("label/ctor = %q/%q", a.Label, a.Ctor)
+	}
+	if len(a.Items) != 3 || a.Items[0].Bind != "l" || a.Items[1].Bind != "" || a.Items[2].Bind != "r" {
+		t.Fatalf("items = %+v", a.Items)
+	}
+	// Binding binds only the immediately following suffixed expression.
+	c = mustExpr(t, `xs:A* B`)
+	it := c.Alts[0].Items
+	if len(it) != 2 || it[0].Bind != "xs" {
+		t.Fatalf("items = %+v", it)
+	}
+	if _, ok := it[0].Expr.(*peg.Repeat); !ok {
+		t.Fatalf("bound expr = %T", it[0].Expr)
+	}
+}
+
+func TestParseModifications(t *testing.T) {
+	m := mustParse(t, `
+module ext;
+modify base;
+Sum += <mod> l:Prod "%" r:Sum @Mod after <sub> ;
+Sum += "z" before <add> ;
+Sum += "w" ;
+Sum -= sub, add ;
+Number := $([0-9]+) ;
+`)
+	if len(m.Prods) != 5 {
+		t.Fatalf("prods = %d", len(m.Prods))
+	}
+	p0 := m.Prods[0]
+	if p0.Kind != peg.AddAlts || p0.Anchor != peg.After || p0.AnchorLabel != "sub" {
+		t.Fatalf("p0 = %+v", p0)
+	}
+	if p0.Choice.Alts[0].Label != "mod" {
+		t.Fatal("added alternative label")
+	}
+	p1 := m.Prods[1]
+	if p1.Anchor != peg.Before || p1.AnchorLabel != "add" {
+		t.Fatalf("p1 = %+v", p1)
+	}
+	if m.Prods[2].Anchor != peg.AtEnd {
+		t.Fatal("p2 anchor")
+	}
+	p3 := m.Prods[3]
+	if p3.Kind != peg.RemoveAlts || len(p3.Removed) != 2 || p3.Removed[0] != "sub" || p3.Removed[1] != "add" {
+		t.Fatalf("p3 = %+v", p3)
+	}
+	if m.Prods[4].Kind != peg.Override {
+		t.Fatal("p4 kind")
+	}
+}
+
+func TestParseEpsilonAlternative(t *testing.T) {
+	c := mustExpr(t, `"a" / `)
+	if len(c.Alts) != 2 {
+		t.Fatalf("alts = %d", len(c.Alts))
+	}
+	if len(c.Alts[1].Items) != 1 {
+		t.Fatalf("epsilon alt items = %d", len(c.Alts[1].Items))
+	}
+	if _, ok := c.Alts[1].Items[0].Expr.(*peg.Empty); !ok {
+		t.Fatalf("epsilon alt = %T", c.Alts[1].Items[0].Expr)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	m := mustParse(t, `
+// header comment
+module a; /* inline
+   spanning */ public S = "x" // trailing
+  ;
+`)
+	if len(m.Prods) != 1 || m.Prods[0].Name != "S" {
+		t.Fatalf("prods = %+v", m.Prods)
+	}
+}
+
+func parseErr(t *testing.T, src string) string {
+	t.Helper()
+	_, err := ParseString("bad.mpeg", src)
+	if err == nil {
+		t.Fatalf("parse %q must fail", src)
+	}
+	return err.Error()
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, frag string
+	}{
+		{"", "expected 'module'"},
+		{"x = 1;", "expected 'module'"},
+		{"module a; module b;", "duplicate 'module'"},
+		{"module a;\nS = lower ;", "upper-case"},
+		{"module a;\nlowername = \"x\" ;", "unknown production attribute"},
+		{"module a;\nS ~ \"x\" ;", "unexpected character"},
+		{"module a;\nS = \"unterminated ;", "unterminated string"},
+		{"module a;\nS = [a-z ;", "unterminated character class"},
+		{"module a;\nS = [] ;", "empty character class"},
+		{"module a;\nS = [z-a] ;", "range out of order"},
+		{"module a;\nS = \"\\q\" ;", "unknown escape"},
+		{"module a;\nS = \"\\xZZ\" ;", "invalid \\x escape"},
+		{"module a;\nS = ( \"x\" ;", "expected ')'"},
+		{"module a;\nS := \"x\" @lower ;", "upper-case"},
+		{"module a;\noption k = ;", "expected option value"},
+		{"module a;\nimport ;", "expected identifier"},
+		{"module a;\n/* never closed", "unterminated block comment"},
+		{"module a;\npublic public S = \"x\" ;", "duplicate attribute"},
+		{"module a(space);", "upper-case"},
+		{"module a;\nS = \"a\" $ \"b\" ;", "expected '('"},
+	}
+	for _, c := range cases {
+		if got := parseErr(t, c.src); !strings.Contains(got, c.frag) {
+			t.Errorf("error for %q = %q, want fragment %q", c.src, got, c.frag)
+		}
+	}
+}
+
+func TestParseRecoversMultipleErrors(t *testing.T) {
+	_, err := ParseString("multi.mpeg", `
+module a;
+S = lower ;
+T = "ok" ;
+U = @ ;
+`)
+	if err == nil {
+		t.Fatal("must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "upper-case") || strings.Count(msg, "\n") < 1 {
+		t.Fatalf("expected two diagnostics, got: %q", msg)
+	}
+}
+
+func TestParsePreservesDeclarationOrder(t *testing.T) {
+	m := mustParse(t, `
+module a;
+B = "b" ;
+A = "a" ;
+C = "c" ;
+`)
+	var names []string
+	for _, p := range m.Prods {
+		names = append(names, p.Name)
+	}
+	if strings.Join(names, ",") != "B,A,C" {
+		t.Fatalf("order = %v", names)
+	}
+}
+
+// Round-trip: parse, print, parse again; the two parses must be equal.
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	m1, err := ParseString("rt.mpeg", src)
+	if err != nil {
+		t.Fatalf("first parse: %v", err)
+	}
+	printed := peg.FormatModule(m1)
+	m2, err := ParseString("rt2.mpeg", printed)
+	if err != nil {
+		t.Fatalf("re-parse of\n%s\nfailed: %v", printed, err)
+	}
+	if !peg.EqualModule(m1, m2) {
+		t.Fatalf("round trip mismatch:\n--- first\n%s\n--- second\n%s", printed, peg.FormatModule(m2))
+	}
+}
+
+func TestRoundTripModules(t *testing.T) {
+	sources := []string{
+		"module a;\nS = \"x\" ;",
+		"module calc.base(Space);\nimport calc.lex;\nmodify other.mod(X.Y);\noption root = Sum;\n" +
+			"public Sum = <add> l:Prod \"+\" r:Sum @Add / <sub> l:Prod \"-\" r:Sum @Sub / Prod ;\n" +
+			"text Number = $([0-9]+ (\".\" [0-9]+)?) ;\n" +
+			"void Spacing = ([ \\t\\n\\r] / \"//\" [^\\n]*)* ;\n",
+		"module m;\nS = !\"a\" . / &(\"b\" \"c\") () / $(.+) ;",
+		"module m;\nS += \"y\" before <base> ;\nT -= a, b ;\nU := [^a-z] ;",
+		"module m;\nS = (A / B)* (C D)+ E? ;",
+		"module m;\nS = \"a\" / ;",
+		"module m;\nS = x:(A / B) y:(!C) ;",
+	}
+	for _, src := range sources {
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripIsIdempotentOnPrinted(t *testing.T) {
+	// print(parse(print(m))) == print(m) for all the corpus modules above.
+	src := "module m;\nS = <l> x:A \"k\" @N / B* ;\nT := [a-c] ;\n"
+	m1, err := ParseString("i1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := peg.FormatModule(m1)
+	m2, err := ParseString("i2", p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := peg.FormatModule(m2)
+	if p1 != p2 {
+		t.Fatalf("printer not stable:\n%s\nvs\n%s", p1, p2)
+	}
+}

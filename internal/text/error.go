@@ -1,0 +1,125 @@
+package text
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Error is a diagnostic anchored to a location in a Source. It is the error
+// currency of the whole system: the grammar front end, the module composer,
+// the analyzer, and the parse engines all report *Error (or ErrorList)
+// values so that callers can render consistent, source-quoting messages.
+type Error struct {
+	Src  *Source
+	Span Span
+	Msg  string
+}
+
+// Errorf creates an Error with a formatted message.
+func Errorf(src *Source, sp Span, format string, args ...any) *Error {
+	return &Error{Src: src, Span: sp, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Error implements the error interface, rendering "file:line:col: msg".
+func (e *Error) Error() string {
+	if e.Src == nil || !e.Span.IsValid() {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s: %s", e.Src.Location(e.Span.Start), e.Msg)
+}
+
+// Detail renders the error together with a quoted, caret-underlined source
+// line, when location information is available.
+func (e *Error) Detail() string {
+	base := e.Error()
+	if e.Src == nil || !e.Span.IsValid() {
+		return base
+	}
+	return base + "\n" + e.Src.Quote(e.Span)
+}
+
+// ErrorList accumulates diagnostics. The zero value is ready to use. A nil
+// or empty list is "no error"; use Err to convert to a plain error.
+type ErrorList struct {
+	list []*Error
+}
+
+// Add appends a diagnostic to the list.
+func (l *ErrorList) Add(e *Error) { l.list = append(l.list, e) }
+
+// Addf formats and appends a diagnostic.
+func (l *ErrorList) Addf(src *Source, sp Span, format string, args ...any) {
+	l.Add(Errorf(src, sp, format, args...))
+}
+
+// Merge appends every diagnostic from another list.
+func (l *ErrorList) Merge(o *ErrorList) {
+	if o != nil {
+		l.list = append(l.list, o.list...)
+	}
+}
+
+// Len returns the number of accumulated diagnostics.
+func (l *ErrorList) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.list)
+}
+
+// All returns the accumulated diagnostics in order of addition.
+func (l *ErrorList) All() []*Error {
+	if l == nil {
+		return nil
+	}
+	return l.list
+}
+
+// Sort orders diagnostics by source name, then offset, then message. It
+// makes composed-module error output deterministic.
+func (l *ErrorList) Sort() {
+	sort.SliceStable(l.list, func(i, j int) bool {
+		a, b := l.list[i], l.list[j]
+		an, bn := "", ""
+		if a.Src != nil {
+			an = a.Src.Name()
+		}
+		if b.Src != nil {
+			bn = b.Src.Name()
+		}
+		if an != bn {
+			return an < bn
+		}
+		if a.Span.Start != b.Span.Start {
+			return a.Span.Start < b.Span.Start
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Error implements the error interface, one diagnostic per line.
+func (l *ErrorList) Error() string {
+	switch l.Len() {
+	case 0:
+		return "no errors"
+	case 1:
+		return l.list[0].Error()
+	}
+	var b strings.Builder
+	for i, e := range l.list {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Err returns the list as an error, or nil when the list is empty.
+func (l *ErrorList) Err() error {
+	if l.Len() == 0 {
+		return nil
+	}
+	return l
+}

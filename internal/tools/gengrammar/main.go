@@ -1,0 +1,54 @@
+// Command gengrammar regenerates the checked-in generated parsers (the
+// codegen golden files). Run it after changing internal/codegen or the
+// bundled grammars:
+//
+//	go run ./internal/tools/gengrammar
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+
+	"modpeg/internal/codegen"
+	"modpeg/internal/grammars"
+	"modpeg/internal/transform"
+)
+
+// targets lists the generated-parser golden packages.
+var targets = []struct {
+	top  string
+	pkg  string
+	path string
+}{
+	{grammars.CalcCore, "gencalc", "internal/codegen/gencalc/gencalc.go"},
+	{grammars.JSON, "genjson", "internal/codegen/genjson/genjson.go"},
+}
+
+func main() {
+	for _, t := range targets {
+		g, err := grammars.Compose(t.top)
+		if err != nil {
+			panic(err)
+		}
+		tg, _, err := transform.Apply(g, transform.Defaults())
+		if err != nil {
+			panic(err)
+		}
+		src, err := codegen.Generate(tg, codegen.Options{
+			Package:      t.pkg,
+			EntryComment: "grammar: " + t.top + " (bundled)",
+		})
+		if err != nil {
+			panic(err)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			panic(fmt.Sprintf("%s: generated code does not format: %v", t.top, err))
+		}
+		if err := os.WriteFile(t.path, formatted, 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("wrote %s: %d bytes\n", t.path, len(formatted))
+	}
+}

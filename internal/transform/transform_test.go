@@ -1,0 +1,394 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"modpeg/internal/analysis"
+	"modpeg/internal/core"
+	"modpeg/internal/peg"
+)
+
+func grammarOf(t *testing.T, body string) *peg.Grammar {
+	t.Helper()
+	g, err := core.Compose("m", core.MapResolver{"m": "module m;\n" + body})
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	return g
+}
+
+func apply(t *testing.T, g *peg.Grammar, opts Options) (*peg.Grammar, *Report) {
+	t.Helper()
+	out, rep, err := Apply(g, opts)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return out, rep
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	g := grammarOf(t, `
+public S = S "+" T / T ;
+T = [0-9] ;
+`)
+	before := peg.FormatGrammar(g)
+	apply(t, g, Defaults())
+	if peg.FormatGrammar(g) != before {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestLeftRecursionRewrite(t *testing.T) {
+	g := grammarOf(t, `
+public S = Sum ;
+Sum = <add> l:Sum "+" r:Prod @Add / <sub> l:Sum "-" r:Prod @Sub / Prod ;
+Prod = [0-9] ;
+`)
+	out, rep := apply(t, g, Options{LeftRecursion: true})
+	if rep.LeftRecRewritten != 1 {
+		t.Fatalf("rewritten = %d", rep.LeftRecRewritten)
+	}
+	sum := out.Prods["m.Sum"]
+	lr, ok := sum.Choice.Alts[0].Items[0].Expr.(*peg.LeftRec)
+	if !ok {
+		t.Fatalf("Sum body = %s", peg.FormatExpr(sum.Choice))
+	}
+	if len(lr.Suffixes) != 2 || lr.Suffixes[0].Ctor != "Add" || lr.Suffixes[1].Ctor != "Sub" {
+		t.Fatalf("suffixes = %v", lr.Suffixes)
+	}
+	// The leading self-reference must be stripped from suffixes.
+	if len(lr.Suffixes[0].Items) != 2 {
+		t.Fatalf("suffix items = %d", len(lr.Suffixes[0].Items))
+	}
+	if len(lr.Seed.Alts) != 1 {
+		t.Fatalf("seed alts = %d", len(lr.Seed.Alts))
+	}
+	// Result must pass the strict post-transform check.
+	if err := analysis.Analyze(out).CheckTransformed(); err != nil {
+		t.Fatalf("CheckTransformed: %v", err)
+	}
+}
+
+func TestLeftRecursionAllRecursiveFails(t *testing.T) {
+	g := grammarOf(t, `
+public S = S "x" ;
+`)
+	if _, _, err := Apply(g, Options{LeftRecursion: true}); err == nil ||
+		!strings.Contains(err.Error(), "every alternative") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExpandRepetitions(t *testing.T) {
+	g := grammarOf(t, `
+public S = "a"* "b"+ ;
+`)
+	out, rep := apply(t, g, Options{ExpandRepetitions: true})
+	if rep.RepetitionsSplit != 2 {
+		t.Fatalf("split = %d", rep.RepetitionsSplit)
+	}
+	// No Repeat nodes must remain.
+	for _, name := range out.Order {
+		peg.Walk(out.Prods[name].Choice, func(e peg.Expr) {
+			if _, ok := e.(*peg.Repeat); ok {
+				t.Fatalf("repeat survived in %s", name)
+			}
+		})
+	}
+	// Synthetic helpers exist and are well-formed.
+	if len(out.Order) != 3 {
+		t.Fatalf("order = %v", out.Order)
+	}
+	if err := analysis.Analyze(out).CheckTransformed(); err != nil {
+		t.Fatalf("CheckTransformed: %v", err)
+	}
+}
+
+func TestInlineTrivialProduction(t *testing.T) {
+	g := grammarOf(t, `
+public S = Digit Digit ;
+Digit = [0-9] ;
+`)
+	out, rep := apply(t, g, Options{Inline: true, DeadCode: true})
+	if rep.Inlined != 2 {
+		t.Fatalf("inlined = %d", rep.Inlined)
+	}
+	s := out.Prods["m.S"]
+	for _, it := range s.Choice.Alts[0].Items {
+		if _, ok := it.Expr.(*peg.CharClass); !ok {
+			t.Fatalf("S body = %s", peg.FormatExpr(s.Choice))
+		}
+	}
+	// Digit became unreachable and must be gone.
+	if out.Prods["m.Digit"] != nil {
+		t.Fatal("inlined production not removed")
+	}
+}
+
+func TestInlineRespectsBarriers(t *testing.T) {
+	g := grammarOf(t, `
+public S = Rec Big NoInl Memo ;
+Rec = "(" Rec ")" / "r" ;
+Big = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" ;
+noinline NoInl = "n" ;
+memo Memo = "m" ;
+`)
+	out, rep := apply(t, g, Options{Inline: true})
+	if rep.Inlined != 0 {
+		t.Fatalf("inlined = %d", rep.Inlined)
+	}
+	refs := 0
+	peg.Walk(out.Prods["m.S"].Choice, func(e peg.Expr) {
+		if _, ok := e.(*peg.NonTerm); ok {
+			refs++
+		}
+	})
+	if refs != 4 {
+		t.Fatalf("refs = %d", refs)
+	}
+}
+
+func TestInlineForcedByAttr(t *testing.T) {
+	g := grammarOf(t, `
+public S = Big ;
+inline Big = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" "bbbbbbbbbbbbbbbbbbbb" ;
+`)
+	_, rep := apply(t, g, Options{Inline: true})
+	if rep.Inlined != 1 {
+		t.Fatalf("inlined = %d", rep.Inlined)
+	}
+}
+
+func TestInlineTextProductionWrapsInCapture(t *testing.T) {
+	g := grammarOf(t, `
+public S = Num ;
+text Num = [0-9] ;
+`)
+	out, rep := apply(t, g, Options{Inline: true})
+	if rep.Inlined != 1 {
+		t.Fatalf("inlined = %d", rep.Inlined)
+	}
+	it := out.Prods["m.S"].Choice.Alts[0].Items[0]
+	if _, ok := it.Expr.(*peg.Capture); !ok {
+		t.Fatalf("text inline = %s", peg.FormatExpr(it.Expr))
+	}
+}
+
+func TestInlineVoidProduction(t *testing.T) {
+	g := grammarOf(t, `
+public S = Sp "x" Tok ;
+void Sp = " " ;
+void Tok = [a-z] ;
+`)
+	out, rep := apply(t, g, Options{Inline: true})
+	// Sp's body is value-free -> inlined; Tok's body produces a token that
+	// void discards -> must NOT be inlined (would change the value).
+	if rep.Inlined != 1 {
+		t.Fatalf("inlined = %d", rep.Inlined)
+	}
+	items := out.Prods["m.S"].Choice.Alts[0].Items
+	if _, ok := items[0].Expr.(*peg.Literal); !ok {
+		t.Fatalf("Sp not inlined: %s", peg.FormatExpr(items[0].Expr))
+	}
+	if _, ok := items[2].Expr.(*peg.NonTerm); !ok {
+		t.Fatalf("Tok must stay a reference: %s", peg.FormatExpr(items[2].Expr))
+	}
+}
+
+func TestFoldPrefixes(t *testing.T) {
+	g := grammarOf(t, `
+public S = Key ;
+text Key = "interface" / "int" / "if" / "while" ;
+`)
+	out, rep := apply(t, g, Options{FoldPrefixes: true})
+	// "interface"/"int"/"if" are distinct literal items, so item-level
+	// folding does not apply to them.
+	if rep.PrefixesFolded != 0 {
+		t.Fatalf("folded distinct literals: %d", rep.PrefixesFolded)
+	}
+	body := peg.FormatExpr(out.Prods["m.Key"].Choice)
+	// Identical first items do fold:
+	g2 := grammarOf(t, `
+public S = T ;
+text T = "a" "x" / "a" "y" / "b" ;
+`)
+	out2, rep2 := apply(t, g2, Options{FoldPrefixes: true})
+	if rep2.PrefixesFolded != 1 {
+		t.Fatalf("folded = %d (first grammar body: %s)", rep2.PrefixesFolded, body)
+	}
+	b2 := peg.FormatExpr(out2.Prods["m.T"].Choice)
+	if !strings.Contains(b2, `"a" ("x" / "y")`) {
+		t.Fatalf("folded body = %s", b2)
+	}
+}
+
+func TestFoldPrefixesSkipsValueContexts(t *testing.T) {
+	g := grammarOf(t, `
+public S = A "x" @X / A "y" @Y ;
+A = "a" ;
+`)
+	out, rep := apply(t, g, Options{FoldPrefixes: true})
+	if rep.PrefixesFolded != 0 {
+		t.Fatalf("folded = %d", rep.PrefixesFolded)
+	}
+	if len(out.Prods["m.S"].Choice.Alts) != 2 {
+		t.Fatal("alternatives must be unchanged")
+	}
+}
+
+func TestFoldPrefixesInsideCapture(t *testing.T) {
+	g := grammarOf(t, `
+public S = $( "ab" "c" / "ab" "d" ) ;
+`)
+	_, rep := apply(t, g, Options{FoldPrefixes: true})
+	if rep.PrefixesFolded != 1 {
+		t.Fatalf("folded = %d", rep.PrefixesFolded)
+	}
+}
+
+func TestMergeClasses(t *testing.T) {
+	g := grammarOf(t, `
+public S = W ;
+void W = "a" / [b-d] / "e" / "xx" / [f-g] ;
+`)
+	out, rep := apply(t, g, Options{MergeClasses: true})
+	if rep.ClassesMerged != 2 {
+		t.Fatalf("merged = %d", rep.ClassesMerged)
+	}
+	body := peg.FormatExpr(out.Prods["m.W"].Choice)
+	if !strings.Contains(body, "[a-e]") {
+		t.Fatalf("body = %s", body)
+	}
+	// "xx" (two bytes) breaks the run; [f-g] stands alone after it.
+	if !strings.Contains(body, `"xx"`) || !strings.Contains(body, "[f-g]") {
+		t.Fatalf("body = %s", body)
+	}
+}
+
+func TestMergeClassesSkipsValueContexts(t *testing.T) {
+	g := grammarOf(t, `
+public S = "a" / [b-c] ;
+`)
+	_, rep := apply(t, g, Options{MergeClasses: true})
+	if rep.ClassesMerged != 0 {
+		t.Fatalf("merged = %d", rep.ClassesMerged)
+	}
+}
+
+func TestDeadCode(t *testing.T) {
+	g := grammarOf(t, `
+public S = "a" / "b"? / "c" ;
+Dead = "d" ;
+`)
+	out, rep := apply(t, g, Options{DeadCode: true})
+	if rep.DeadAlternatives != 1 {
+		t.Fatalf("dead alts = %d", rep.DeadAlternatives)
+	}
+	if rep.DeadProductions != 1 {
+		t.Fatalf("dead prods = %d", rep.DeadProductions)
+	}
+	if len(out.Prods["m.S"].Choice.Alts) != 2 {
+		t.Fatal("alt count after dead-code")
+	}
+	if out.Prods["m.Dead"] != nil {
+		t.Fatal("Dead must be removed")
+	}
+}
+
+func TestMarkTransient(t *testing.T) {
+	g := grammarOf(t, `
+public S = Once Multi Multi Cheap Cheap Pinned Pinned ;
+Once = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaa" "bbbbbbbbbbbbb" ;
+Multi = "mmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmm" "nnnnnnnnnnnn" ;
+Cheap = "c" ;
+memo Pinned = "p" ;
+`)
+	out, rep := apply(t, g, Options{MarkTransient: true})
+	if !out.Prods["m.Once"].Attrs.Has(peg.AttrTransient) {
+		t.Fatal("single-reference production must be transient")
+	}
+	if out.Prods["m.Multi"].Attrs.Has(peg.AttrTransient) {
+		t.Fatal("expensive multi-reference production must stay memoized")
+	}
+	if !out.Prods["m.Cheap"].Attrs.Has(peg.AttrTransient) {
+		t.Fatal("cheap production must be transient")
+	}
+	if out.Prods["m.Pinned"].Attrs.Has(peg.AttrTransient) {
+		t.Fatal("memo pin must win")
+	}
+	if rep.MarkedTransient < 2 {
+		t.Fatalf("marked = %d", rep.MarkedTransient)
+	}
+}
+
+func TestNormalizeClasses(t *testing.T) {
+	g := grammarOf(t, `
+public S = [cab-d] ;
+`)
+	out, rep := apply(t, g, Options{NormalizeClasses: true})
+	if rep.ClassesNormalized != 1 {
+		t.Fatalf("normalized = %d", rep.ClassesNormalized)
+	}
+	cls := out.Prods["m.S"].Choice.Alts[0].Items[0].Expr.(*peg.CharClass)
+	if len(cls.Ranges) != 1 || cls.Ranges[0] != (peg.CharRange{Lo: 'a', Hi: 'd'}) {
+		t.Fatalf("ranges = %v", cls.Ranges)
+	}
+}
+
+func TestDefaultsEndToEnd(t *testing.T) {
+	g := grammarOf(t, `
+option root = Program;
+public Program = Spacing Sum ;
+Sum = <add> l:Sum "+" r:Atom @Add / Atom ;
+Atom = Number / "(" Sum ")" ;
+text Number = [0-9]+ ;
+void Spacing = (" " / "\t")* ;
+Unused = "zzz" ;
+`)
+	out, rep := apply(t, g, Defaults())
+	if rep.LeftRecRewritten != 1 || rep.DeadProductions < 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if out.Prods["m.Unused"] != nil {
+		t.Fatal("Unused must be removed")
+	}
+	if err := analysis.Analyze(out).CheckTransformed(); err != nil {
+		t.Fatalf("CheckTransformed: %v", err)
+	}
+	if !strings.Contains(rep.String(), "left-recursive productions rewritten: 1") {
+		t.Fatalf("report string = %q", rep.String())
+	}
+	empty := &Report{}
+	if empty.String() != "no changes\n" {
+		t.Fatalf("empty report = %q", empty.String())
+	}
+}
+
+func TestBaselineOptions(t *testing.T) {
+	b := Baseline()
+	if !b.LeftRecursion || !b.ExpandRepetitions || b.Inline || b.MarkTransient {
+		t.Fatalf("baseline = %+v", b)
+	}
+	g := grammarOf(t, `
+public S = S "+" [0-9] / [0-9] ;
+`)
+	out, _ := apply(t, g, b)
+	if err := analysis.Analyze(out).CheckTransformed(); err != nil {
+		t.Fatalf("baseline grammar must still be runnable: %v", err)
+	}
+}
+
+func TestLeftRecTransformIdempotent(t *testing.T) {
+	g := grammarOf(t, `
+public S = S "+" [0-9] / [0-9] ;
+`)
+	out1, _ := apply(t, g, Options{LeftRecursion: true})
+	out2, rep2 := apply(t, out1, Options{LeftRecursion: true})
+	if rep2.LeftRecRewritten != 0 {
+		t.Fatal("second transform must be a no-op")
+	}
+	if !peg.EqualGrammar(out1, out2) {
+		t.Fatal("transform must be idempotent")
+	}
+}

@@ -1,0 +1,423 @@
+// Package vm compiles composed grammars into executable parser programs
+// and runs them with three interchangeable engine configurations:
+//
+//   - plain backtracking recursive descent (no memoization) — the textbook
+//     PEG interpreter, exponential in the worst case;
+//   - naive packrat — every production memoized at every position;
+//   - optimized packrat — the paper's engine: transient productions skip
+//     the memo table, memo entries live in per-position chunks allocated
+//     lazily, and choices and calls dispatch on the next input byte.
+//
+// All three produce identical semantic values (a property the test suite
+// checks by construction on every bundled grammar), which is what makes
+// the paper's time/space comparisons meaningful.
+//
+// # Value rules
+//
+// See internal/peg's package documentation. The compiler additionally
+// performs value specialization: expressions in *void context* (inside
+// captures and predicates, and the bodies of void/text productions) are
+// compiled to value-free code that allocates nothing.
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"modpeg/internal/analysis"
+	"modpeg/internal/peg"
+)
+
+// Options selects the engine configuration. The zero value is the plain
+// backtracking interpreter.
+type Options struct {
+	// Memoize enables the packrat memo table.
+	Memoize bool
+	// MemoEverything ignores transient attributes and memoizes every
+	// production (the naive packrat baseline). Implies Memoize.
+	MemoEverything bool
+	// ChunkedMemo lays memo entries out in per-position chunks; otherwise
+	// a hash map keyed by (position, production) is used.
+	ChunkedMemo bool
+	// Dispatch enables first-byte dispatch for choices and calls.
+	Dispatch bool
+}
+
+// Optimized returns the full paper engine configuration.
+func Optimized() Options {
+	return Options{Memoize: true, ChunkedMemo: true, Dispatch: true}
+}
+
+// NaivePackrat returns the memoize-everything baseline (hash-map memo, no
+// dispatch), mirroring the straightforward packrat implementations the
+// paper compares against.
+func NaivePackrat() Options {
+	return Options{Memoize: true, MemoEverything: true}
+}
+
+// Backtracking returns the plain recursive-descent configuration.
+func Backtracking() Options { return Options{} }
+
+// String names the configuration for benchmark output.
+func (o Options) String() string {
+	switch {
+	case !o.Memoize:
+		return "backtracking"
+	case o.MemoEverything && !o.ChunkedMemo:
+		return "naive-packrat"
+	default:
+		s := "packrat"
+		if o.ChunkedMemo {
+			s += "+chunks"
+		}
+		if o.Dispatch {
+			s += "+dispatch"
+		}
+		if o.MemoEverything {
+			s += "+memoall"
+		}
+		return s
+	}
+}
+
+// Program is a compiled grammar ready for execution.
+type Program struct {
+	opts  Options
+	prods []prodInfo
+	index map[string]int
+	root  int
+	// memoCols is the number of memo columns (memoized productions).
+	memoCols int
+}
+
+type valueKind uint8
+
+const (
+	valNormal valueKind = iota
+	valText             // production produces the matched text as a token
+	valVoid             // production produces nil
+)
+
+type prodInfo struct {
+	name     string
+	display  string // short name for failure reporting
+	attrs    peg.Attr
+	kind     valueKind
+	body     node
+	memoCol  int // -1 when transient (not memoized)
+	nullable bool
+	// dispatch data (valid when firstOK)
+	firstOK bool
+	first   analysis.ByteSet
+}
+
+// Options returns the configuration the program was compiled with.
+func (p *Program) Options() Options { return p.opts }
+
+// MemoColumns returns the number of memoized productions.
+func (p *Program) MemoColumns() int { return p.memoCols }
+
+// NumProductions returns the number of productions compiled.
+func (p *Program) NumProductions() int { return len(p.prods) }
+
+// Compile compiles a composed, transformed grammar. The grammar must pass
+// analysis.CheckTransformed (no left recursion, no nullable repetition).
+func Compile(g *peg.Grammar, opts Options) (*Program, error) {
+	a := analysis.Analyze(g)
+	if err := a.CheckTransformed(); err != nil {
+		return nil, fmt.Errorf("vm: %w", err)
+	}
+	if opts.MemoEverything {
+		opts.Memoize = true
+	}
+	p := &Program{opts: opts, index: make(map[string]int, len(g.Order))}
+	for i, name := range g.Order {
+		p.index[name] = i
+	}
+	root, ok := p.index[g.Root]
+	if !ok {
+		return nil, fmt.Errorf("vm: root production %q not found", g.Root)
+	}
+	p.root = root
+
+	// Memo columns are assigned hottest-first (by static reference count)
+	// so that frequently probed productions share the first chunks of
+	// every position's chunk directory — the layout half of the chunk
+	// optimization.
+	memoized := make([]string, 0, len(g.Order))
+	for _, name := range g.Order {
+		pr := g.Prods[name]
+		if opts.Memoize && (opts.MemoEverything || !pr.Attrs.Has(peg.AttrTransient)) {
+			memoized = append(memoized, name)
+		}
+	}
+	sort.SliceStable(memoized, func(i, j int) bool {
+		return a.RefCount[memoized[i]] > a.RefCount[memoized[j]]
+	})
+	memoCol := make(map[string]int, len(memoized))
+	for i, name := range memoized {
+		memoCol[name] = i
+	}
+	p.memoCols = len(memoized)
+
+	c := &compiler{prog: p, analysis: a}
+	p.prods = make([]prodInfo, len(g.Order))
+	for i, name := range g.Order {
+		pr := g.Prods[name]
+		info := &p.prods[i]
+		info.name = name
+		info.display = displayNameOf(name)
+		info.attrs = pr.Attrs
+		info.nullable = a.Nullable[name]
+		info.firstOK = a.FirstPrecise[name] && !a.Nullable[name]
+		if f := a.First[name]; f != nil {
+			info.first = *f
+		}
+		switch {
+		case pr.Attrs.Has(peg.AttrText):
+			info.kind = valText
+		case pr.Attrs.Has(peg.AttrVoid):
+			info.kind = valVoid
+		default:
+			info.kind = valNormal
+		}
+		voidBody := info.kind != valNormal
+		info.body = c.compile(pr.Choice, voidBody)
+
+		if col, ok := memoCol[name]; ok {
+			info.memoCol = col
+		} else {
+			info.memoCol = -1
+		}
+	}
+	return p, nil
+}
+
+// ----------------------------------------------------------------- nodes
+
+// node is a compiled parsing expression. Implementations live in this file
+// and are interpreted by the engine in interp.go.
+type node interface{ isNode() }
+
+type nEmpty struct{}
+
+type nLit struct {
+	text    string
+	display string // precomputed %q form for failure reporting
+}
+
+type nClass struct {
+	tbl  *[256]bool
+	void bool // no token value needed
+}
+
+type nAny struct{ void bool }
+
+type nCall struct{ prod int }
+
+type itemRole uint8
+
+const (
+	roleNormal itemRole = iota
+	roleHead            // splice protocol: contribute non-nil value
+	roleTail            // splice protocol: splice the callee's list
+	roleEmpty           // splice protocol: contributes nothing
+)
+
+type nItem struct {
+	n     node
+	bound bool
+	role  itemRole
+}
+
+type nSeq struct {
+	items []nItem
+	// ctor builds a node value; empty ctor is pass-through.
+	ctor string
+	// hasBind: children are the bound item values (nil included); else all
+	// non-nil values.
+	hasBind bool
+	// splice: the sequence uses the repetition-expansion splice protocol
+	// and produces a flat ast.List.
+	splice bool
+	void   bool
+}
+
+type nChoice struct {
+	alts []nAlt
+}
+
+type nAlt struct {
+	n node
+	// dispatch data: when ok, the alternative is skippable if the next
+	// byte is not in first (and the alternative cannot match empty).
+	dispatchOK bool
+	first      analysis.ByteSet
+}
+
+type nRepeat struct {
+	min  int
+	body node
+	void bool // iterations yield no values
+}
+
+type nOpt struct {
+	body node
+	void bool
+}
+
+type nAnd struct{ body node }
+
+type nNot struct{ body node }
+
+type nCapture struct{ body node }
+
+type nLeftRec struct {
+	seed     node
+	suffixes []nSeq
+	void     bool
+}
+
+func (nEmpty) isNode()    {}
+func (nLit) isNode()      {}
+func (*nClass) isNode()   {}
+func (nAny) isNode()      {}
+func (nCall) isNode()     {}
+func (*nSeq) isNode()     {}
+func (*nChoice) isNode()  {}
+func (*nRepeat) isNode()  {}
+func (*nOpt) isNode()     {}
+func (*nAnd) isNode()     {}
+func (*nNot) isNode()     {}
+func (*nCapture) isNode() {}
+func (*nLeftRec) isNode() {}
+
+// ------------------------------------------------------------- compiler
+
+type compiler struct {
+	prog     *Program
+	analysis *analysis.Analysis
+}
+
+// compile translates e into executable form; void indicates that the value
+// of e will be discarded, enabling value-free specialization.
+func (c *compiler) compile(e peg.Expr, void bool) node {
+	switch e := e.(type) {
+	case nil, *peg.Empty:
+		return nEmpty{}
+	case *peg.Literal:
+		return nLit{text: e.Text, display: fmt.Sprintf("%q", e.Text)}
+	case *peg.CharClass:
+		var tbl [256]bool
+		for b := 0; b < 256; b++ {
+			tbl[b] = e.Matches(byte(b))
+		}
+		return &nClass{tbl: &tbl, void: void}
+	case *peg.Any:
+		return nAny{void: void}
+	case *peg.NonTerm:
+		return nCall{prod: c.prog.index[e.Name]}
+	case *peg.Capture:
+		if void {
+			// The token would be discarded: compile the body void and skip
+			// the capture wrapper entirely.
+			return c.compile(e.Expr, true)
+		}
+		return &nCapture{body: c.compile(e.Expr, true)}
+	case *peg.And:
+		return &nAnd{body: c.compile(e.Expr, true)}
+	case *peg.Not:
+		return &nNot{body: c.compile(e.Expr, true)}
+	case *peg.Optional:
+		bodyVoid := void || !c.analysis.ExprValued(e.Expr)
+		return &nOpt{body: c.compile(e.Expr, bodyVoid), void: bodyVoid}
+	case *peg.Repeat:
+		bodyVoid := void || !c.analysis.ExprValued(e.Expr)
+		return &nRepeat{min: e.Min, body: c.compile(e.Expr, bodyVoid), void: bodyVoid}
+	case *peg.Seq:
+		return c.compileSeq(e, void)
+	case *peg.Choice:
+		n := &nChoice{alts: make([]nAlt, len(e.Alts))}
+		for i, alt := range e.Alts {
+			na := nAlt{n: c.compileSeq(alt, void)}
+			if c.prog.opts.Dispatch {
+				set, precise := c.firstOf(alt)
+				if precise && !c.nullable(alt) {
+					na.dispatchOK = true
+					na.first = *set
+				}
+			}
+			n.alts[i] = na
+		}
+		return n
+	case *peg.LeftRec:
+		n := &nLeftRec{seed: c.compile(e.Seed, void), void: void}
+		for _, s := range e.Suffixes {
+			n.suffixes = append(n.suffixes, *c.compileSeq(s, void))
+		}
+		return n
+	default:
+		panic(fmt.Sprintf("vm: unknown expression %T", e))
+	}
+}
+
+func (c *compiler) compileSeq(s *peg.Seq, void bool) *nSeq {
+	n := &nSeq{ctor: s.Ctor, hasBind: s.HasBindings(), void: void}
+	if void {
+		n.ctor = ""
+		n.hasBind = false
+	} else if s.IsSpliceSeq() {
+		n.splice = true
+		n.ctor = ""
+		n.hasBind = false
+	}
+	for _, it := range s.Items {
+		role := roleNormal
+		switch it.Bind {
+		case peg.BindHead:
+			role = roleHead
+		case peg.BindTail:
+			role = roleTail
+		case peg.BindEmpty:
+			role = roleEmpty
+		}
+		itemVoid := void
+		if !void && !n.splice && n.hasBind && it.Bind == "" {
+			// Only bound items contribute children under a binding ctor; an
+			// unbound sibling's value is discarded... unless the sequence is
+			// pass-through (no ctor), where every value counts.
+			itemVoid = n.ctor != ""
+		}
+		n.items = append(n.items, nItem{
+			n:     c.compile(it.Expr, itemVoid || isPredicate(it.Expr)),
+			bound: it.Bind != "",
+			role:  role,
+		})
+	}
+	return n
+}
+
+func isPredicate(e peg.Expr) bool {
+	switch e.(type) {
+	case *peg.And, *peg.Not:
+		return true
+	}
+	return false
+}
+
+func (c *compiler) firstOf(e peg.Expr) (*analysis.ByteSet, bool) {
+	return analysis.FirstOfExpr(c.analysis, e)
+}
+
+func (c *compiler) nullable(e peg.Expr) bool {
+	return analysis.NullableExpr(c.analysis, e)
+}
+
+// displayNameOf strips the module qualifier for error messages.
+func displayNameOf(full string) string {
+	if i := strings.LastIndexByte(full, '.'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}

@@ -1,0 +1,604 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"modpeg/internal/ast"
+	"modpeg/internal/text"
+)
+
+// Stats reports what one parse did — the raw material of the paper's
+// time/space tables.
+type Stats struct {
+	// Calls counts production invocations (after dispatch fast-fails).
+	Calls int
+	// DispatchSkips counts calls and alternatives skipped by first-byte
+	// dispatch.
+	DispatchSkips int
+	// MemoHits/MemoMisses/MemoStores count memo table activity.
+	MemoHits   int
+	MemoMisses int
+	MemoStores int
+	// ChunksAllocated counts lazily allocated memo chunks (chunked layout).
+	ChunksAllocated int
+	// ChunkRows counts positions that allocated a chunk directory.
+	ChunkRows int
+	// MemoBytes estimates the memo table's heap footprint in bytes.
+	MemoBytes int
+	// MaxPos is the rightmost input position reached.
+	MaxPos int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("calls=%d hits=%d misses=%d stores=%d skips=%d chunks=%d memoBytes=%d maxPos=%d",
+		s.Calls, s.MemoHits, s.MemoMisses, s.MemoStores, s.DispatchSkips,
+		s.ChunksAllocated, s.MemoBytes, s.MaxPos)
+}
+
+// ParseError describes a failed parse with the farthest failure heuristic:
+// the position the parser got stuck at and the terminals/productions it
+// tried there.
+type ParseError struct {
+	Src      *text.Source
+	Pos      text.Pos
+	Expected []string
+}
+
+func (e *ParseError) Error() string {
+	loc := e.Src.Location(e.Pos)
+	found := "end of input"
+	if int(e.Pos) < e.Src.Len() {
+		found = fmt.Sprintf("%q", e.Src.Content()[e.Pos])
+	}
+	msg := fmt.Sprintf("%s: syntax error: unexpected %s", loc, found)
+	if len(e.Expected) > 0 {
+		msg += ", expected " + strings.Join(e.Expected, " or ")
+	}
+	return msg
+}
+
+// Detail renders the error with a quoted source line.
+func (e *ParseError) Detail() string {
+	return e.Error() + "\n" + e.Src.Quote(text.NewSpan(e.Pos, e.Pos+1))
+}
+
+// memoEntry is one memoized outcome. state distinguishes empty slots from
+// stored failures and successes.
+type memoEntry struct {
+	state uint8 // 0 empty, 1 fail, 2 success
+	end   int32
+	val   ast.Value
+}
+
+const (
+	memoEmpty uint8 = iota
+	memoFail
+	memoOK
+)
+
+// memoEntrySize approximates the heap footprint of one entry (state+end,
+// padding, and the two-word interface value).
+const memoEntrySize = 24
+
+// mapEntryOverhead approximates a hash map cell (key + entry + bucket
+// overhead) for the map-based layout.
+const mapEntryOverhead = 48
+
+// chunkSize is the number of memo columns grouped into one lazily
+// allocated chunk — the Rats! chunk optimization: positions pay only for
+// the column groups actually probed there, not the whole production set.
+const chunkSize = 8
+
+// memoChunk is one group of memo entries.
+type memoChunk [chunkSize]memoEntry
+
+// Parser executes one Program over one input. A Parser is single-use and
+// not safe for concurrent use; create one per parse (Program.Parse does).
+type Parser struct {
+	prog  *Program
+	src   *text.Source
+	in    string
+	stats Stats
+
+	// chunked memo: per position, a lazily allocated directory of lazily
+	// allocated chunks of chunkSize columns each.
+	chunks     [][]*memoChunk
+	chunkCount int // chunks per position: ceil(memoCols / chunkSize)
+	// map memo keyed by position*memoCols + column.
+	memoMap map[int64]memoEntry
+
+	// farthest-failure tracking: a small dedup slice (not a map) because
+	// fail() runs on every mismatched terminal — the hottest path in the
+	// parser.
+	failPos      int
+	failExpected []string
+	// suppress failure recording inside predicates (their failures are
+	// expected behaviour).
+	quiet int
+
+	// trace, when non-nil, receives one line per production entry and
+	// exit (the debugging aid; costs nothing when nil).
+	trace      io.Writer
+	traceDepth int
+}
+
+// maxExpected caps the recorded expectation set.
+const maxExpected = 16
+
+// Parse runs the program over src, requiring the root production to match
+// and to consume the whole input. It returns the semantic value and the
+// parse statistics.
+func (p *Program) Parse(src *text.Source) (ast.Value, Stats, error) {
+	ps := newParser(p, src)
+	val, err := ps.run()
+	return val, ps.stats, err
+}
+
+// ParseWithTrace is Parse with a human-readable call trace streamed to w:
+// one line per production entry, exit, and memo hit, indented by call
+// depth. Intended for grammar debugging, not production use.
+func (p *Program) ParseWithTrace(src *text.Source, w io.Writer) (ast.Value, Stats, error) {
+	ps := newParser(p, src)
+	ps.trace = w
+	val, err := ps.run()
+	return val, ps.stats, err
+}
+
+// ParsePrefix runs the program over src, requiring the root production to
+// match at position 0 but not to consume the whole input. It returns the
+// value, the number of bytes consumed, and the statistics.
+func (p *Program) ParsePrefix(src *text.Source) (ast.Value, int, Stats, error) {
+	ps := newParser(p, src)
+	end, val, ok := ps.parseProd(p.root, 0)
+	if !ok {
+		return nil, 0, ps.stats, ps.syntaxError()
+	}
+	ps.finishStats()
+	return val, end, ps.stats, nil
+}
+
+func newParser(p *Program, src *text.Source) *Parser {
+	ps := &Parser{
+		prog:    p,
+		src:     src,
+		in:      src.Content(),
+		failPos: -1,
+	}
+	if p.opts.Memoize {
+		if p.opts.ChunkedMemo {
+			ps.chunkCount = (p.memoCols + chunkSize - 1) / chunkSize
+			ps.chunks = make([][]*memoChunk, len(ps.in)+1)
+		} else {
+			ps.memoMap = make(map[int64]memoEntry)
+		}
+	}
+	return ps
+}
+
+func (ps *Parser) run() (ast.Value, error) {
+	end, val, ok := ps.parseProd(ps.prog.root, 0)
+	if !ok {
+		return nil, ps.syntaxError()
+	}
+	if end != len(ps.in) {
+		if end > ps.failPos {
+			ps.failPos = end
+			ps.failExpected = []string{"end of input"}
+		}
+		return nil, ps.syntaxError()
+	}
+	ps.finishStats()
+	return val, nil
+}
+
+func (ps *Parser) finishStats() {
+	// Chunk bytes: the entries themselves plus the per-position chunk
+	// directories (one pointer per chunk slot).
+	ps.stats.MemoBytes = ps.stats.ChunksAllocated*chunkSize*memoEntrySize +
+		ps.stats.ChunkRows*ps.chunkCount*8 +
+		len(ps.memoMap)*mapEntryOverhead
+}
+
+func (ps *Parser) syntaxError() error {
+	ps.finishStats()
+	pos := ps.failPos
+	if pos < 0 {
+		pos = 0
+	}
+	expected := append([]string(nil), ps.failExpected...)
+	sort.Strings(expected)
+	if len(expected) > 8 {
+		expected = expected[:8]
+	}
+	return &ParseError{Src: ps.src, Pos: text.Pos(pos), Expected: expected}
+}
+
+// fail records a failure at pos expecting the given description.
+func (ps *Parser) fail(pos int, what string) {
+	if ps.quiet > 0 || pos < ps.failPos {
+		return
+	}
+	if pos > ps.failPos {
+		ps.failPos = pos
+		ps.failExpected = ps.failExpected[:0]
+	}
+	if len(ps.failExpected) >= maxExpected {
+		return
+	}
+	for _, e := range ps.failExpected {
+		if e == what {
+			return
+		}
+	}
+	ps.failExpected = append(ps.failExpected, what)
+}
+
+// traceLine emits one indented trace line.
+func (ps *Parser) traceLine(format string, args ...any) {
+	fmt.Fprintf(ps.trace, "%s", strings.Repeat("  ", ps.traceDepth))
+	fmt.Fprintf(ps.trace, format, args...)
+	fmt.Fprintln(ps.trace)
+}
+
+// parseProd invokes production prod at pos, consulting the memo table.
+func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
+	info := &ps.prog.prods[prod]
+
+	// First-byte dispatch: fail fast without touching the memo table.
+	if ps.prog.opts.Dispatch && info.firstOK {
+		if pos >= len(ps.in) || !info.first.Has(ps.in[pos]) {
+			ps.stats.DispatchSkips++
+			ps.fail(pos, info.display)
+			return 0, nil, false
+		}
+	}
+
+	col := info.memoCol
+	if col >= 0 {
+		if e, ok := ps.memoLoad(pos, col); ok {
+			ps.stats.MemoHits++
+			if ps.trace != nil {
+				outcome := "memo-fail"
+				if e.state == memoOK {
+					outcome = fmt.Sprintf("memo-hit -> %d", e.end)
+				}
+				ps.traceLine("%s @%d: %s", info.display, pos, outcome)
+			}
+			if e.state == memoFail {
+				ps.fail(pos, info.display)
+				return 0, nil, false
+			}
+			return int(e.end), e.val, true
+		}
+		ps.stats.MemoMisses++
+	}
+
+	ps.stats.Calls++
+	if ps.trace != nil {
+		ps.traceLine("%s @%d {", info.display, pos)
+		ps.traceDepth++
+	}
+	end, val, ok := ps.eval(info.body, pos)
+	if ps.trace != nil {
+		ps.traceDepth--
+		if ok {
+			ps.traceLine("} %s @%d -> %d", info.display, pos, end)
+		} else {
+			ps.traceLine("} %s @%d -> fail", info.display, pos)
+		}
+	}
+	if ok {
+		switch info.kind {
+		case valText:
+			val = ast.NewToken(ps.in[pos:end], text.NewSpan(text.Pos(pos), text.Pos(end)))
+		case valVoid:
+			val = nil
+		default:
+			if n, isNode := val.(*ast.Node); isNode && n != nil && !n.Span.IsValid() {
+				n.Span = text.NewSpan(text.Pos(pos), text.Pos(end))
+			}
+		}
+	}
+
+	if col >= 0 {
+		e := memoEntry{state: memoFail}
+		if ok {
+			e = memoEntry{state: memoOK, end: int32(end), val: val}
+		}
+		ps.memoStore(pos, col, e)
+		ps.stats.MemoStores++
+	}
+	if !ok {
+		ps.fail(pos, info.display)
+		return 0, nil, false
+	}
+	if end > ps.stats.MaxPos {
+		ps.stats.MaxPos = end
+	}
+	return end, val, true
+}
+
+func (ps *Parser) memoLoad(pos, col int) (memoEntry, bool) {
+	if ps.chunks != nil {
+		row := ps.chunks[pos]
+		if row == nil {
+			return memoEntry{}, false
+		}
+		chunk := row[col/chunkSize]
+		if chunk == nil {
+			return memoEntry{}, false
+		}
+		e := chunk[col%chunkSize]
+		return e, e.state != memoEmpty
+	}
+	e, ok := ps.memoMap[int64(pos)*int64(ps.prog.memoCols)+int64(col)]
+	return e, ok
+}
+
+func (ps *Parser) memoStore(pos, col int, e memoEntry) {
+	if ps.chunks != nil {
+		row := ps.chunks[pos]
+		if row == nil {
+			row = make([]*memoChunk, ps.chunkCount)
+			ps.chunks[pos] = row
+			ps.stats.ChunkRows++
+		}
+		chunk := row[col/chunkSize]
+		if chunk == nil {
+			chunk = new(memoChunk)
+			row[col/chunkSize] = chunk
+			ps.stats.ChunksAllocated++
+		}
+		chunk[col%chunkSize] = e
+		return
+	}
+	ps.memoMap[int64(pos)*int64(ps.prog.memoCols)+int64(col)] = e
+}
+
+// eval interprets a compiled node at pos, returning the end position, the
+// semantic value, and success.
+func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
+	switch n := n.(type) {
+	case nEmpty:
+		return pos, nil, true
+
+	case nLit:
+		end := pos + len(n.text)
+		if end > len(ps.in) || ps.in[pos:end] != n.text {
+			ps.fail(pos, n.display)
+			return 0, nil, false
+		}
+		return end, nil, true
+
+	case *nClass:
+		if pos >= len(ps.in) || !n.tbl[ps.in[pos]] {
+			ps.fail(pos, "character class")
+			return 0, nil, false
+		}
+		if n.void {
+			return pos + 1, nil, true
+		}
+		return pos + 1, ast.NewToken(ps.in[pos:pos+1], text.NewSpan(text.Pos(pos), text.Pos(pos+1))), true
+
+	case nAny:
+		if pos >= len(ps.in) {
+			ps.fail(pos, "any character")
+			return 0, nil, false
+		}
+		if n.void {
+			return pos + 1, nil, true
+		}
+		return pos + 1, ast.NewToken(ps.in[pos:pos+1], text.NewSpan(text.Pos(pos), text.Pos(pos+1))), true
+
+	case nCall:
+		return ps.parseProd(n.prod, pos)
+
+	case *nCapture:
+		end, _, ok := ps.eval(n.body, pos)
+		if !ok {
+			return 0, nil, false
+		}
+		return end, ast.NewToken(ps.in[pos:end], text.NewSpan(text.Pos(pos), text.Pos(end))), true
+
+	case *nAnd:
+		ps.quiet++
+		_, _, ok := ps.eval(n.body, pos)
+		ps.quiet--
+		if !ok {
+			ps.fail(pos, "lookahead")
+			return 0, nil, false
+		}
+		return pos, nil, true
+
+	case *nNot:
+		ps.quiet++
+		_, _, ok := ps.eval(n.body, pos)
+		ps.quiet--
+		if ok {
+			ps.fail(pos, "negative lookahead")
+			return 0, nil, false
+		}
+		return pos, nil, true
+
+	case *nOpt:
+		end, val, ok := ps.eval(n.body, pos)
+		if !ok {
+			return pos, nil, true
+		}
+		if n.void {
+			return end, nil, true
+		}
+		return end, val, true
+
+	case *nRepeat:
+		cur := pos
+		var list ast.List
+		count := 0
+		for {
+			end, val, ok := ps.eval(n.body, cur)
+			if !ok {
+				break
+			}
+			cur = end
+			count++
+			if !n.void && val != nil {
+				list = append(list, val)
+			}
+		}
+		if count < n.min {
+			return 0, nil, false
+		}
+		if n.void {
+			return cur, nil, true
+		}
+		if list == nil {
+			list = ast.List{}
+		}
+		return cur, list, true
+
+	case *nSeq:
+		return ps.evalSeq(n, pos)
+
+	case *nChoice:
+		var b byte
+		haveByte := pos < len(ps.in)
+		if haveByte {
+			b = ps.in[pos]
+		}
+		for i := range n.alts {
+			alt := &n.alts[i]
+			if alt.dispatchOK {
+				if !haveByte || !alt.first.Has(b) {
+					ps.stats.DispatchSkips++
+					continue
+				}
+			}
+			if end, val, ok := ps.eval(alt.n, pos); ok {
+				return end, val, true
+			}
+		}
+		return 0, nil, false
+
+	case *nLeftRec:
+		end, acc, ok := ps.eval(n.seed, pos)
+		if !ok {
+			return 0, nil, false
+		}
+	grow:
+		for {
+			for i := range n.suffixes {
+				s := &n.suffixes[i]
+				nend, vals, ok := ps.evalSeqItems(s, end)
+				if !ok {
+					continue
+				}
+				acc = foldLeft(acc, s, vals, pos, nend)
+				end = nend
+				continue grow
+			}
+			break
+		}
+		if n.void {
+			return end, nil, true
+		}
+		return end, acc, true
+
+	default:
+		panic(fmt.Sprintf("vm: unknown node %T", n))
+	}
+}
+
+// evalSeq evaluates a sequence and builds its value per the sequence rules.
+func (ps *Parser) evalSeq(n *nSeq, pos int) (int, ast.Value, bool) {
+	end, vals, ok := ps.evalSeqItems(n, pos)
+	if !ok {
+		return 0, nil, false
+	}
+	if n.void {
+		return end, nil, true
+	}
+	return end, seqValue(n, vals, pos, end), true
+}
+
+// evalSeqItems matches the items of a sequence, collecting the values that
+// participate in the sequence's result (bound values verbatim under a
+// binding constructor, non-nil values otherwise; splice sequences build a
+// flat list).
+func (ps *Parser) evalSeqItems(n *nSeq, pos int) (int, []ast.Value, bool) {
+	cur := pos
+	var vals []ast.Value
+	if n.splice {
+		vals = ast.List{}
+	}
+	for i := range n.items {
+		it := &n.items[i]
+		end, val, ok := ps.eval(it.n, cur)
+		if !ok {
+			return 0, nil, false
+		}
+		cur = end
+		if n.void {
+			continue
+		}
+		if n.splice {
+			switch it.role {
+			case roleHead:
+				if val != nil {
+					vals = append(vals, val)
+				}
+			case roleTail:
+				if l, isList := val.(ast.List); isList {
+					vals = append(vals, l...)
+				}
+			}
+			continue
+		}
+		if n.ctor != "" && n.hasBind {
+			if it.bound {
+				vals = append(vals, val)
+			}
+		} else if val != nil {
+			vals = append(vals, val)
+		}
+	}
+	return cur, vals, true
+}
+
+// seqValue assembles a sequence's semantic value from its collected item
+// values.
+func seqValue(n *nSeq, vals []ast.Value, start, end int) ast.Value {
+	if n.splice {
+		return ast.List(vals)
+	}
+	if n.ctor != "" {
+		node := ast.NewNode(n.ctor, vals...)
+		node.Span = text.NewSpan(text.Pos(start), text.Pos(end))
+		return node
+	}
+	switch len(vals) {
+	case 0:
+		return nil
+	case 1:
+		return vals[0]
+	default:
+		return ast.List(vals)
+	}
+}
+
+// foldLeft folds one left-recursion suffix match into the accumulated
+// value.
+func foldLeft(acc ast.Value, s *nSeq, vals []ast.Value, start, end int) ast.Value {
+	if s.ctor != "" {
+		children := append([]ast.Value{acc}, vals...)
+		node := ast.NewNode(s.ctor, children...)
+		node.Span = text.NewSpan(text.Pos(start), text.Pos(end))
+		return node
+	}
+	if len(vals) == 0 {
+		return acc
+	}
+	return ast.List(append([]ast.Value{acc}, vals...))
+}

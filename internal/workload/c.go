@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// CProgram generates a C-subset source file of roughly cfg.Size bytes:
+// a struct, globals, and functions exercising pointers, loops, switch,
+// and the expression repertoire of the bundled C grammar.
+func CProgram(cfg Config) string {
+	r := cfg.rng()
+	g := &cGen{r: r}
+	var b strings.Builder
+	b.WriteString("/* generated C workload */\n")
+	b.WriteString("#include <stdio.h>\n\n")
+	b.WriteString("typedef unsigned long size_t;\n\n")
+	b.WriteString("struct state {\n    int counter;\n    int values[64];\n    char tag;\n};\n\n")
+	b.WriteString("static int global = 0;\n")
+	b.WriteString("static struct state st;\n\n")
+	for i := 0; b.Len() < cfg.Size; i++ {
+		g.function(&b, i)
+	}
+	b.WriteString("int main(void) {\n    return fn0(1, 2);\n}\n")
+	return b.String()
+}
+
+type cGen struct {
+	r *rand.Rand
+}
+
+func (g *cGen) function(b *strings.Builder, i int) {
+	fmt.Fprintf(b, "int fn%d(int a, int b) {\n", i)
+	fmt.Fprintf(b, "    int local = %d;\n", g.r.Intn(100))
+	b.WriteString("    int *p = &local;\n")
+	n := 3 + g.r.Intn(6)
+	for j := 0; j < n; j++ {
+		g.stmt(b, 1, 2)
+	}
+	fmt.Fprintf(b, "    return local + %s;\n}\n\n", g.expr(1))
+}
+
+func (g *cGen) stmt(b *strings.Builder, indent, depth int) {
+	pad := strings.Repeat("    ", indent)
+	if depth <= 0 {
+		fmt.Fprintf(b, "%sglobal = %s;\n", pad, g.expr(1))
+		return
+	}
+	switch g.r.Intn(9) {
+	case 0:
+		fmt.Fprintf(b, "%sint v%d = %s;\n", pad, g.r.Intn(100), g.expr(depth))
+	case 1:
+		fmt.Fprintf(b, "%sif (%s) {\n", pad, g.cond())
+		g.stmt(b, indent+1, depth-1)
+		fmt.Fprintf(b, "%s} else {\n", pad)
+		g.stmt(b, indent+1, depth-1)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case 2:
+		fmt.Fprintf(b, "%sfor (local = 0; local < %d; local++) {\n", pad, g.r.Intn(64)+1)
+		g.stmt(b, indent+1, depth-1)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case 3:
+		fmt.Fprintf(b, "%swhile (global > %d) {\n%s    global = global >> 1;\n%s}\n",
+			pad, g.r.Intn(100), pad, pad)
+	case 4:
+		fmt.Fprintf(b, "%sst.values[%d] = %s;\n", pad, g.r.Intn(64), g.expr(depth))
+	case 5:
+		fmt.Fprintf(b, "%s*p = %s;\n", pad, g.expr(1))
+	case 6:
+		fmt.Fprintf(b, "%sswitch (local %% 3) {\n%scase 0:\n%s    global++;\n%s    break;\n%sdefault:\n%s    global--;\n%s    break;\n%s}\n",
+			pad, pad, pad, pad, pad, pad, pad, pad)
+	case 7:
+		fmt.Fprintf(b, "%sst.counter = st.counter + %s;\n", pad, g.expr(1))
+	default:
+		fmt.Fprintf(b, "%sdo {\n%s    local++;\n%s} while (local < %d);\n", pad, pad, pad, g.r.Intn(16)+1)
+	}
+}
+
+func (g *cGen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("%s + %s", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("%s * %s", g.expr(depth-1), g.atom())
+	case 2:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.atom())
+	case 3:
+		return fmt.Sprintf("(%s & 0xFF | %d)", g.atom(), g.r.Intn(16))
+	case 4:
+		return fmt.Sprintf("st.values[%s %% 64]", g.atom())
+	case 5:
+		return fmt.Sprintf("(%s << %d)", g.atom(), g.r.Intn(4)+1)
+	case 6:
+		return fmt.Sprintf("(int)%s", g.atom())
+	default:
+		return fmt.Sprintf("(%s ? %s : %s)", g.cond(), g.atom(), g.atom())
+	}
+}
+
+func (g *cGen) cond() string {
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s < %s", g.atom(), g.atom())
+	case 1:
+		return fmt.Sprintf("%s == %d && global != %d", g.atom(), g.r.Intn(10), g.r.Intn(10))
+	case 2:
+		return fmt.Sprintf("%s >= 0 || b > %d", g.atom(), g.r.Intn(100))
+	default:
+		return "!(global == 0)"
+	}
+}
+
+func (g *cGen) atom() string {
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.Intn(1000))
+	case 1:
+		return "a"
+	case 2:
+		return "b"
+	case 3:
+		return "global"
+	case 4:
+		return "*p"
+	default:
+		return fmt.Sprintf("st.values[%d]", g.r.Intn(64))
+	}
+}

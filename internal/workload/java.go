@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// JavaProgram generates a Java-subset source file of roughly cfg.Size
+// bytes: a package declaration, imports, and one class with fields,
+// constructors, and methods whose bodies draw from the full statement and
+// expression repertoire of the base grammar.
+func JavaProgram(cfg Config) string {
+	return javaProgram(cfg, false)
+}
+
+// JavaProgramExt additionally uses the bundled extensions (assert,
+// enhanced for, **) so that only the composed java.full grammar accepts
+// it.
+func JavaProgramExt(cfg Config) string {
+	return javaProgram(cfg, true)
+}
+
+func javaProgram(cfg Config, ext bool) string {
+	r := cfg.rng()
+	g := &javaGen{r: r, ext: ext}
+	var b strings.Builder
+	b.WriteString("package com.example.generated;\n\n")
+	b.WriteString("import java.util.List;\n")
+	b.WriteString("import java.io.*;\n\n")
+	b.WriteString("interface Measurable {\n    int measure(int a, int b);\n}\n\n")
+	b.WriteString("public class Workload extends Object implements Measurable {\n")
+	b.WriteString("    static final int LIMIT = 1024;\n")
+	b.WriteString("    static final int[] SEEDS = {3, 5, 7, 11,};\n")
+	b.WriteString("    private int state = 0;\n")
+	b.WriteString("    private int[] data = new int[64];\n\n")
+	b.WriteString("    public int measure(int a, int b) {\n        return a + b + state;\n    }\n\n")
+	b.WriteString("    public Workload(int seed) {\n        this.state = seed;\n    }\n\n")
+	for i := 0; b.Len() < cfg.Size; i++ {
+		g.method(&b, i)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+type javaGen struct {
+	r   *rand.Rand
+	ext bool
+}
+
+func (g *javaGen) method(b *strings.Builder, i int) {
+	fmt.Fprintf(b, "    int method%d(int a, int b) {\n", i)
+	n := 3 + g.r.Intn(6)
+	for j := 0; j < n; j++ {
+		g.stmt(b, 2, 2)
+	}
+	fmt.Fprintf(b, "        return %s;\n    }\n\n", g.expr(2))
+}
+
+func (g *javaGen) stmt(b *strings.Builder, indent, depth int) {
+	pad := strings.Repeat("    ", indent)
+	max := 10
+	if g.ext {
+		max = 13
+	}
+	if depth <= 0 {
+		fmt.Fprintf(b, "%sstate = %s;\n", pad, g.expr(1))
+		return
+	}
+	switch g.r.Intn(max) {
+	case 0:
+		fmt.Fprintf(b, "%sint v%d = %s;\n", pad, g.r.Intn(100), g.expr(depth))
+	case 1:
+		fmt.Fprintf(b, "%sif (%s) {\n", pad, g.cond())
+		g.stmt(b, indent+1, depth-1)
+		fmt.Fprintf(b, "%s} else {\n", pad)
+		g.stmt(b, indent+1, depth-1)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case 2:
+		fmt.Fprintf(b, "%sfor (int i = 0; i < %d; i++) {\n", pad, g.r.Intn(64)+1)
+		g.stmt(b, indent+1, depth-1)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case 3:
+		fmt.Fprintf(b, "%swhile (state > %d) {\n", pad, g.r.Intn(100))
+		fmt.Fprintf(b, "%s    state = state / 2;\n", pad)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case 4:
+		fmt.Fprintf(b, "%sdata[%d] = %s;\n", pad, g.r.Intn(64), g.expr(depth))
+	case 5:
+		fmt.Fprintf(b, "%sstate += method%d(%s, %s) + data[a %% 64];\n",
+			pad, g.r.Intn(3), g.expr(1), g.expr(1))
+	case 6:
+		fmt.Fprintf(b, "%sString s%d = \"value \" + %d;\n", pad, g.r.Intn(100), g.r.Intn(1000))
+	case 7:
+		fmt.Fprintf(b, "%stry {\n%s    state = data[b];\n%s} catch (Exception e) {\n%s    state = 0;\n%s}\n",
+			pad, pad, pad, pad, pad)
+	case 8:
+		fmt.Fprintf(b, "%sswitch (a %% %d) {\n%scase 0:\n%s    state += %d;\n%s    break;\n%scase 1:\n%s    state = super.hashCode();\n%s    break;\n%sdefault:\n%s    state--;\n%s}\n",
+			pad, g.r.Intn(4)+2, pad, pad, g.r.Intn(100), pad, pad, pad, pad, pad, pad, pad)
+	case 9:
+		fmt.Fprintf(b, "%sint[] tmp%d = {%s, %s, %s};\n", pad, g.r.Intn(100), g.atom(), g.atom(), g.atom())
+	case 10: // ext: assert
+		fmt.Fprintf(b, "%sassert state >= 0 : \"negative\";\n", pad)
+	case 11: // ext: enhanced for
+		fmt.Fprintf(b, "%sfor (int x : data) {\n%s    state += x;\n%s}\n", pad, pad, pad)
+	case 12: // ext: pow
+		fmt.Fprintf(b, "%sstate = 2 ** %d + state;\n", pad, g.r.Intn(10)+1)
+	}
+}
+
+func (g *javaGen) expr(depth int) string {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("%s + %s", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("%s * %s", g.expr(depth-1), g.atom())
+	case 2:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.atom())
+	case 3:
+		return fmt.Sprintf("%s %% %d", g.atom(), g.r.Intn(99)+1)
+	case 4:
+		return fmt.Sprintf("data[%s %% 64]", g.atom())
+	case 5:
+		return fmt.Sprintf("(%s & 0xFF | %d)", g.atom(), g.r.Intn(16))
+	case 6:
+		return fmt.Sprintf("(%s << %d >> 1)", g.atom(), g.r.Intn(4)+1)
+	default:
+		return fmt.Sprintf("(%s ? %s : %s)", g.cond(), g.atom(), g.atom())
+	}
+}
+
+func (g *javaGen) cond() string {
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s < %s", g.atom(), g.atom())
+	case 1:
+		return fmt.Sprintf("%s == %d && state != %d", g.atom(), g.r.Intn(10), g.r.Intn(10))
+	case 2:
+		return fmt.Sprintf("%s >= 0 || b > %d", g.atom(), g.r.Intn(100))
+	default:
+		return "!(state == 0)"
+	}
+}
+
+func (g *javaGen) atom() string {
+	switch g.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.Intn(1000))
+	case 1:
+		return "a"
+	case 2:
+		return "b"
+	case 3:
+		return "state"
+	default:
+		return fmt.Sprintf("data[%d]", g.r.Intn(64))
+	}
+}

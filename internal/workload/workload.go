@@ -1,0 +1,211 @@
+// Package workload generates deterministic synthetic inputs for the
+// benchmark harness — the stand-in for the paper's real-world corpora
+// (JDK sources for the Java grammar, C packages for the C grammar). The
+// generators are seeded and size-targeted, so every benchmark run parses
+// byte-identical inputs.
+//
+// Each generator emits text valid under the corresponding bundled grammar;
+// the package tests parse every generated corpus to enforce that.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterizes a generator.
+type Config struct {
+	// Seed drives the deterministic random source.
+	Seed int64
+	// Size is the approximate output size in bytes; generators emit whole
+	// units (members, statements) until they reach it.
+	Size int
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// ------------------------------------------------------------ calculator
+
+// Expression generates an arithmetic expression for the calculator
+// grammar (core operators only).
+func Expression(cfg Config) string {
+	r := cfg.rng()
+	var b strings.Builder
+	genExpr(r, &b, 6, false)
+	for b.Len() < cfg.Size {
+		op := []string{" + ", " - ", " * ", " / "}[r.Intn(4)]
+		b.WriteString(op)
+		genExpr(r, &b, 6, false)
+	}
+	return b.String()
+}
+
+// IntExpression generates an arithmetic expression restricted to integer
+// literals (no decimal points), for grammars whose number syntax is
+// integral — e.g. the generated-parser benchmark grammar.
+func IntExpression(cfg Config) string {
+	out := Expression(cfg)
+	// Decimal points only occur inside "d.dd" literals; rewriting them to
+	// digit separators keeps the text a valid integer expression of the
+	// same length.
+	return strings.Map(func(r rune) rune {
+		if r == '.' {
+			return '0'
+		}
+		return r
+	}, out)
+}
+
+// ExpressionExt generates an expression that uses the calc.pow and
+// calc.cmp extensions as well (for composed-grammar benchmarks).
+func ExpressionExt(cfg Config) string {
+	r := cfg.rng()
+	var b strings.Builder
+	genExpr(r, &b, 6, true)
+	for b.Len() < cfg.Size {
+		b.WriteString([]string{" + ", " - ", " * ", " ** "}[r.Intn(4)])
+		genExpr(r, &b, 6, true)
+	}
+	// One top-level comparison exercises the calc.cmp layer.
+	b.WriteString(" < 1000000")
+	return b.String()
+}
+
+func genExpr(r *rand.Rand, b *strings.Builder, depth int, ext bool) {
+	if depth <= 0 || r.Intn(4) == 0 {
+		fmt.Fprintf(b, "%d", r.Intn(1000))
+		return
+	}
+	switch r.Intn(6) {
+	case 0:
+		b.WriteByte('(')
+		genExpr(r, b, depth-1, ext)
+		b.WriteByte(')')
+	case 1:
+		genExpr(r, b, depth-1, ext)
+		b.WriteString(" + ")
+		genExpr(r, b, depth-1, ext)
+	case 2:
+		genExpr(r, b, depth-1, ext)
+		b.WriteString(" * ")
+		genExpr(r, b, depth-1, ext)
+	case 3:
+		genExpr(r, b, depth-1, ext)
+		b.WriteString(" - ")
+		genExpr(r, b, depth-1, ext)
+	case 4:
+		if ext {
+			fmt.Fprintf(b, "%d ** ", r.Intn(9)+1)
+			genExpr(r, b, depth-1, ext)
+			return
+		}
+		genExpr(r, b, depth-1, ext)
+		b.WriteString(" / ")
+		fmt.Fprintf(b, "%d", r.Intn(99)+1)
+	default:
+		fmt.Fprintf(b, "%d.%02d", r.Intn(100), r.Intn(100))
+	}
+}
+
+// NestedExpression generates a parenthesis chain of the given depth —
+// the input for the linear-time scaling figure.
+func NestedExpression(depth int) string {
+	return strings.Repeat("(", depth) + "1" + strings.Repeat("+1)", depth)
+}
+
+// ----------------------------------------------------------------- json
+
+// JSONDoc generates a JSON document of roughly cfg.Size bytes.
+func JSONDoc(cfg Config) string {
+	r := cfg.rng()
+	var b strings.Builder
+	b.WriteString("{\n")
+	i := 0
+	for b.Len() < cfg.Size {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, "  \"key%d\": ", i)
+		genJSON(r, &b, 4)
+		i++
+	}
+	b.WriteString("\n}")
+	return b.String()
+}
+
+func genJSON(r *rand.Rand, b *strings.Builder, depth int) {
+	if depth <= 0 {
+		genJSONScalar(r, b)
+		return
+	}
+	switch r.Intn(6) {
+	case 0: // object
+		b.WriteByte('{')
+		n := r.Intn(4)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "\"f%d\": ", i)
+			genJSON(r, b, depth-1)
+		}
+		b.WriteByte('}')
+	case 1: // array
+		b.WriteByte('[')
+		n := r.Intn(5)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			genJSON(r, b, depth-1)
+		}
+		b.WriteByte(']')
+	default:
+		genJSONScalar(r, b)
+	}
+}
+
+func genJSONScalar(r *rand.Rand, b *strings.Builder) {
+	switch r.Intn(5) {
+	case 0:
+		fmt.Fprintf(b, "%d", r.Intn(100000))
+	case 1:
+		fmt.Fprintf(b, "-%d.%03de%+d", r.Intn(100), r.Intn(1000), r.Intn(20)-10)
+	case 2:
+		fmt.Fprintf(b, "\"str %d with \\\"escapes\\\"\"", r.Intn(1000))
+	case 3:
+		b.WriteString([]string{"true", "false", "null"}[r.Intn(3)])
+	default:
+		fmt.Fprintf(b, "%d", r.Intn(10))
+	}
+}
+
+// ----------------------------------------------------- pathological input
+
+// Pathological generates the nested-choice input that blows up
+// unmemoized backtracking under the grammar
+//
+//	E = "(" E ")" "x" / "(" E ")" "y" / "a"
+//
+// where every level takes the second alternative: a plain recursive-
+// descent parser re-parses the nested body at every level (2^depth work),
+// while a packrat parser stays linear.
+func Pathological(depth int) string {
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteByte('(')
+	}
+	b.WriteByte('a')
+	for i := 0; i < depth; i++ {
+		b.WriteString(")y")
+	}
+	return b.String()
+}
+
+// PathologicalGrammar is the module source matching Pathological inputs.
+const PathologicalGrammar = `
+module path;
+public S = E !. ;
+E = "(" E ")" "x" / "(" E ")" "y" / "a" ;
+`

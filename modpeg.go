@@ -1,0 +1,265 @@
+// Package modpeg is a parser toolkit for modular parsing expression
+// grammars, reproducing the system described in "Better Extensibility
+// through Modular Syntax" (Grimm, PLDI 2006): grammars are composed from
+// modules that can import, instantiate, and *modify* one another, and are
+// executed by an optimizing packrat parser (or compiled to standalone Go
+// parsers).
+//
+// The one-call path:
+//
+//	parser, err := modpeg.New("calc.full")        // a bundled grammar
+//	value, err := parser.Parse("input", "1 + 2**3")
+//	fmt.Println(modpeg.FormatValue(value))        // (Add (Num "1") (Pow ...))
+//
+// Custom grammars come from module directories or in-memory sources:
+//
+//	parser, err := modpeg.New("my.lang",
+//	    modpeg.WithModuleDir("./grammar"),
+//	    modpeg.WithModules(map[string]string{"my.ext": extSource}))
+//
+// Engine and optimizer configurations are exposed for experimentation —
+// the benchmark suite uses them to reproduce the paper's measurements:
+//
+//	parser, err := modpeg.New("java.core",
+//	    modpeg.WithOptimizations(modpeg.BaselineOptimizations()),
+//	    modpeg.WithEngine(modpeg.EngineNaivePackrat()))
+package modpeg
+
+import (
+	"fmt"
+	"io"
+
+	"modpeg/internal/analysis"
+	"modpeg/internal/ast"
+	"modpeg/internal/codegen"
+	"modpeg/internal/core"
+	"modpeg/internal/grammars"
+	"modpeg/internal/peg"
+	"modpeg/internal/text"
+	"modpeg/internal/transform"
+	"modpeg/internal/vm"
+)
+
+// Value is a semantic value produced by parsing: *Node, *Token, List, or
+// nil.
+type Value = ast.Value
+
+// Node is a generic interior AST node.
+type Node = ast.Node
+
+// Token is a matched lexeme with its source span.
+type Token = ast.Token
+
+// List is an ordered sequence of values.
+type List = ast.List
+
+// FormatValue renders a value as a compact s-expression.
+func FormatValue(v Value) string { return ast.Format(v) }
+
+// IndentValue renders a value as an indented tree.
+func IndentValue(v Value) string { return ast.Indent(v) }
+
+// ValueToJSON renders a value as indented JSON for machine consumption.
+func ValueToJSON(v Value) (string, error) { return ast.ToJSON(v) }
+
+// ValuesEqual reports deep structural equality, ignoring source spans.
+func ValuesEqual(a, b Value) bool { return ast.Equal(a, b) }
+
+// FindNode returns the first node with the given constructor name in
+// pre-order, or nil.
+func FindNode(v Value, name string) *Node { return ast.Find(v, name) }
+
+// FindAllNodes returns every node with the given constructor name.
+func FindAllNodes(v Value, name string) []*Node { return ast.FindAll(v, name) }
+
+// TextOf concatenates the terminal text under a value.
+func TextOf(v Value) string { return ast.TextOf(v) }
+
+// Resolver maps module names to sources; see WithResolver.
+type Resolver = core.Resolver
+
+// OptimizeOptions selects grammar-level optimization passes.
+type OptimizeOptions = transform.Options
+
+// DefaultOptimizations is the full optimizing pipeline.
+func DefaultOptimizations() OptimizeOptions { return transform.Defaults() }
+
+// BaselineOptimizations is the naive-packrat baseline pipeline (left
+// recursion transformed, repetitions expanded into memoized productions,
+// nothing else).
+func BaselineOptimizations() OptimizeOptions { return transform.Baseline() }
+
+// EngineOptions selects the parse-engine configuration.
+type EngineOptions = vm.Options
+
+// EngineOptimized is the paper's full engine: chunked memoization,
+// transient skip, first-byte dispatch.
+func EngineOptimized() EngineOptions { return vm.Optimized() }
+
+// EngineNaivePackrat memoizes every production in a hash map.
+func EngineNaivePackrat() EngineOptions { return vm.NaivePackrat() }
+
+// EngineBacktracking is plain recursive descent without memoization.
+func EngineBacktracking() EngineOptions { return vm.Backtracking() }
+
+// ParseStats reports per-parse engine activity.
+type ParseStats = vm.Stats
+
+// GrammarStats summarizes a composed grammar.
+type GrammarStats = peg.GrammarStats
+
+// BundledGrammars lists the top modules bundled with the library
+// (calculator, JSON, Java subset, C subset, and composition demos).
+func BundledGrammars() []string { return grammars.TopModules() }
+
+// config collects option state.
+type config struct {
+	resolvers core.MultiResolver
+	noBundled bool
+	optimize  OptimizeOptions
+	engine    EngineOptions
+	skipOpt   bool
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithModuleDir resolves modules from "<dir>/<module>.mpeg" files, taking
+// precedence over the bundled grammars.
+func WithModuleDir(dir string) Option {
+	return func(c *config) { c.resolvers = append(c.resolvers, core.DirResolver{Dir: dir}) }
+}
+
+// WithModules resolves modules from in-memory sources, taking precedence
+// over the bundled grammars.
+func WithModules(mods map[string]string) Option {
+	return func(c *config) { c.resolvers = append(c.resolvers, core.MapResolver(mods)) }
+}
+
+// WithResolver adds a custom module resolver.
+func WithResolver(r Resolver) Option {
+	return func(c *config) { c.resolvers = append(c.resolvers, r) }
+}
+
+// WithoutBundledGrammars removes the bundled modules from resolution.
+func WithoutBundledGrammars() Option {
+	return func(c *config) { c.noBundled = true }
+}
+
+// WithOptimizations overrides the grammar-optimization pipeline.
+func WithOptimizations(o OptimizeOptions) Option {
+	return func(c *config) { c.optimize = o; c.skipOpt = false }
+}
+
+// WithEngine overrides the engine configuration.
+func WithEngine(e EngineOptions) Option {
+	return func(c *config) { c.engine = e }
+}
+
+// Parser is a composed, optimized, compiled grammar ready to parse.
+type Parser struct {
+	top         string
+	composed    *peg.Grammar
+	transformed *peg.Grammar
+	report      *transform.Report
+	prog        *vm.Program
+}
+
+// New composes the grammar rooted at the given top module, applies the
+// optimization pipeline, and compiles it for the configured engine.
+func New(top string, opts ...Option) (*Parser, error) {
+	c := &config{optimize: transform.Defaults(), engine: vm.Optimized()}
+	for _, o := range opts {
+		o(c)
+	}
+	resolver := c.resolvers
+	if !c.noBundled {
+		resolver = append(resolver, grammars.Resolver())
+	}
+	if len(resolver) == 0 {
+		return nil, fmt.Errorf("modpeg: no module sources configured")
+	}
+	composed, err := core.Compose(top, resolver)
+	if err != nil {
+		return nil, err
+	}
+	transformed, report, err := transform.Apply(composed, c.optimize)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := vm.Compile(transformed, c.engine)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{
+		top:         top,
+		composed:    composed,
+		transformed: transformed,
+		report:      report,
+		prog:        prog,
+	}, nil
+}
+
+// Parse parses input (name labels it in diagnostics), requiring the root
+// production to consume the whole input.
+func (p *Parser) Parse(name, input string) (Value, error) {
+	v, _, err := p.prog.Parse(text.NewSource(name, input))
+	return v, err
+}
+
+// ParseWithStats is Parse plus the engine statistics of the run.
+func (p *Parser) ParseWithStats(name, input string) (Value, ParseStats, error) {
+	return p.prog.Parse(text.NewSource(name, input))
+}
+
+// ParseWithTrace is Parse with a human-readable production-call trace
+// streamed to w — the grammar-debugging aid.
+func (p *Parser) ParseWithTrace(name, input string, w io.Writer) (Value, error) {
+	v, _, err := p.prog.ParseWithTrace(text.NewSource(name, input), w)
+	return v, err
+}
+
+// Top returns the top module name the parser was composed from.
+func (p *Parser) Top() string { return p.top }
+
+// Grammar renders the composed (pre-optimization) grammar.
+func (p *Parser) Grammar() string { return peg.FormatGrammar(p.composed) }
+
+// OptimizedGrammar renders the grammar after the optimization pipeline.
+func (p *Parser) OptimizedGrammar() string { return peg.FormatGrammar(p.transformed) }
+
+// Stats summarizes the composed grammar.
+func (p *Parser) Stats() GrammarStats { return peg.StatsOfGrammar(p.composed) }
+
+// OptimizedStats summarizes the grammar after optimization.
+func (p *Parser) OptimizedStats() GrammarStats { return peg.StatsOfGrammar(p.transformed) }
+
+// OptimizationReport describes what each optimization pass did.
+func (p *Parser) OptimizationReport() string { return p.report.String() }
+
+// Modules lists the composed module instances in dependency order.
+func (p *Parser) Modules() []string {
+	return append([]string(nil), p.composed.ModuleNames...)
+}
+
+// GenerateGo emits a standalone Go parser for the grammar (the
+// parser-generator path). pkg is the generated package name.
+func (p *Parser) GenerateGo(pkg string) ([]byte, error) {
+	return codegen.Generate(p.transformed, codegen.Options{
+		Package:      pkg,
+		EntryComment: "grammar: " + p.top,
+	})
+}
+
+// Check re-runs the static well-formedness analysis on the composed
+// grammar and returns its findings (nil when clean).
+func (p *Parser) Check() error {
+	return analysis.Analyze(p.composed).Check()
+}
+
+// Lint reports non-fatal grammar smells (unreachable productions,
+// contradictory attributes, shadowed literal alternatives, discarded
+// bindings), sorted and deterministic.
+func (p *Parser) Lint() []string {
+	return analysis.Analyze(p.composed).Lint()
+}

@@ -1,0 +1,222 @@
+package modpeg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewBundledCalc(t *testing.T) {
+	p, err := New("calc.full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Parse("in", "1 + 2**3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatValue(v); got != `(Add (Num "1") (Pow (Num "2") (Num "3")))` {
+		t.Fatalf("value = %s", got)
+	}
+	if p.Top() != "calc.full" {
+		t.Fatal("Top")
+	}
+	if len(p.Modules()) < 4 {
+		t.Fatalf("modules = %v", p.Modules())
+	}
+	if p.Check() != nil {
+		t.Fatal("Check must be clean")
+	}
+	if s := p.Stats(); s.Productions == 0 {
+		t.Fatal("stats empty")
+	}
+	if !strings.Contains(p.Grammar(), "calc.core.Sum") {
+		t.Fatal("Grammar rendering")
+	}
+	if !strings.Contains(p.OptimizationReport(), "transient") {
+		t.Fatalf("report = %q", p.OptimizationReport())
+	}
+	if p.OptimizedStats().Productions > p.Stats().Productions {
+		t.Fatal("optimization must not add productions here")
+	}
+	if !strings.Contains(p.OptimizedGrammar(), "leftrec") {
+		t.Fatal("optimized grammar must show leftrec rewrite")
+	}
+}
+
+func TestNewWithInMemoryModules(t *testing.T) {
+	p, err := New("tiny", WithModules(map[string]string{
+		"tiny": "module tiny;\npublic S = $([a-z]+) !. ;\n",
+	}), WithoutBundledGrammars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Parse("in", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, ok := v.(*Token)
+	if !ok || tok.Text != "hello" {
+		t.Fatalf("value = %v", FormatValue(v))
+	}
+}
+
+func TestNewUserModulesCanExtendBundled(t *testing.T) {
+	p, err := New("user.top", WithModules(map[string]string{
+		"user.top": `
+module user.top;
+import calc.core;
+import user.ext;
+option root = calc.core.Program;
+`,
+		"user.ext": `
+module user.ext;
+modify calc.core;
+import calc.lex;
+Atom += <neg> MINUS e:Atom @Neg before <num> ;
+`,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Parse("in", "-3 + 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatValue(v); got != `(Add (Neg (Num "3")) (Num "4"))` {
+		t.Fatalf("value = %s", got)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("calc.full", WithoutBundledGrammars()); err == nil {
+		t.Fatal("no sources must fail")
+	}
+	if _, err := New("no.such.module"); err == nil {
+		t.Fatal("unknown module must fail")
+	}
+	if _, err := New("bad", WithModules(map[string]string{
+		"bad": "module bad;\npublic S = Missing ;\n",
+	})); err == nil {
+		t.Fatal("composition errors must surface")
+	}
+}
+
+func TestEngineAndOptimizationOptions(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"optimized", nil},
+		{"naive", []Option{
+			WithOptimizations(BaselineOptimizations()),
+			WithEngine(EngineNaivePackrat()),
+		}},
+		{"backtracking", []Option{WithEngine(EngineBacktracking())}},
+	} {
+		p, err := New("json.value", tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		v, stats, err := p.ParseWithStats("in", `{"a": [1, 2, {"b": null}]}`)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if FindNode(v, "Member") == nil {
+			t.Fatalf("%s: no Member node", tc.name)
+		}
+		if tc.name == "backtracking" && stats.MemoStores != 0 {
+			t.Fatal("backtracking must not memoize")
+		}
+		if tc.name == "naive" && stats.MemoStores == 0 {
+			t.Fatal("naive must memoize")
+		}
+	}
+}
+
+func TestParseErrorsAreReported(t *testing.T) {
+	p, err := New("json.value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Parse("doc.json", `{"a": }`)
+	if err == nil || !strings.Contains(err.Error(), "doc.json") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGenerateGo(t *testing.T) {
+	p, err := New("calc.core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := p.GenerateGo("calcparser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(src)
+	if !strings.Contains(s, "package calcparser") || !strings.Contains(s, "func Parse(input string)") {
+		t.Fatalf("generated source looks wrong:\n%.200s", s)
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	p, err := New("calc.core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Parse("in", "1+2*3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TextOf(v) != "123" {
+		t.Fatalf("TextOf = %q", TextOf(v))
+	}
+	if len(FindAllNodes(v, "Num")) != 3 {
+		t.Fatal("FindAllNodes")
+	}
+	if !ValuesEqual(v, v) {
+		t.Fatal("ValuesEqual")
+	}
+	if !strings.Contains(IndentValue(v), "Mul") {
+		t.Fatal("IndentValue")
+	}
+	if BundledGrammars()[0] == "" {
+		t.Fatal("BundledGrammars")
+	}
+}
+
+func TestLintAndJSONAndTraceAPI(t *testing.T) {
+	p, err := New("smelly", WithModules(map[string]string{
+		"smelly": "module smelly;\npublic S = \"a\" / \"ab\" ;\nDead = \"d\" ;\n",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warnings := p.Lint()
+	if len(warnings) != 2 {
+		t.Fatalf("lint = %v", warnings)
+	}
+
+	// calc.full's pow extension retries Atom at the same position, so the
+	// trace is guaranteed to show a memo hit.
+	calc, err := New("calc.full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := calc.Parse("in", "1+2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := ValueToJSON(v)
+	if err != nil || !strings.Contains(js, `"name": "Add"`) {
+		t.Fatalf("json = %v / %.80s", err, js)
+	}
+
+	var trace strings.Builder
+	if _, err := calc.ParseWithTrace("in", "1+2", &trace); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.String(), "memo-hit") {
+		t.Fatal("trace must show memo activity")
+	}
+}
