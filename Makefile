@@ -1,0 +1,18 @@
+.PHONY: build test verify bench experiments
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Full gate: build + vet + race-enabled test suite.
+verify:
+	sh scripts/verify.sh
+
+# Session-residency benchmarks; writes BENCH_1.json.
+bench:
+	sh scripts/bench.sh
+
+experiments:
+	go run ./cmd/modpeg experiment all

@@ -336,3 +336,102 @@ func BenchmarkFig3Pathological(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------- Table 5
+//
+// Engine residency: how much of a parse's cost is machinery allocation
+// that a resident (pooled or explicitly reused) session amortizes away.
+// "cold" builds a fresh session per parse — the seed's behaviour —
+// while "pooled" exercises Program.Parse's internal sync.Pool and
+// "session" reuses one explicit session. The memo arena, chunk
+// directory, and scratch buffers are recycled; semantic values still
+// allocate (slab-amortized), so allocs/op does not reach zero on valued
+// grammars (see TestSteadyStateAllocsVoidGrammar for the zero case).
+
+func BenchmarkTable5Sessions(b *testing.B) {
+	for _, w := range []struct {
+		name string
+		top  string
+		gen  func() string
+	}{
+		{"calc", "calc.full", func() string { return workload.Expression(workload.Config{Seed: 7, Size: 40 * 1024}) }},
+		{"java", "java.core", func() string {
+			return workload.JavaProgram(workload.Config{Seed: 7, Size: 40 * 1024})
+		}},
+	} {
+		input := w.gen()
+		src := text.NewSource("bench", input)
+		prog := mustProgram(b, w.top, transform.Defaults(), vm.Optimized())
+		b.Run(w.name+"/cold", func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := prog.NewSession().Parse(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/pooled", func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := prog.Parse(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/session", func(b *testing.B) {
+			s := prog.NewSession()
+			if _, _, err := s.Parse(src); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(input)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Parse(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable5Batch compares parsing a 16-file batch sequentially on
+// one session against fanning it across GOMAXPROCS workers with
+// Program.ParseAll. On a multi-core machine the batch row should
+// approach a worker-count speedup; on one core it matches sequential.
+func BenchmarkTable5Batch(b *testing.B) {
+	const nFiles = 16
+	prog := mustProgram(b, grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	var srcs []*text.Source
+	var total int
+	for i := 0; i < nFiles; i++ {
+		in := workload.JavaProgram(workload.Config{Seed: int64(200 + i), Size: 8 * 1024})
+		total += len(in)
+		srcs = append(srcs, text.NewSource(fmt.Sprintf("file%d", i), in))
+	}
+	b.Run("sequential", func(b *testing.B) {
+		s := prog.NewSession()
+		b.SetBytes(int64(total))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, src := range srcs {
+				if _, _, err := s.Parse(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(int64(total))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range prog.ParseAll(srcs, 0) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+}

@@ -86,7 +86,7 @@ commands:
                                    parse a file (or stdin) and print the AST
   generate [-d dir] [-pkg p] [-o file] <top>
                                    emit a standalone Go parser
-  experiment [-kb n] [-mintime d] <table1|table2|table3|table4|fig1|fig2|fig3|all>
+  experiment [-kb n] [-mintime d] <table1|table2|table3|table4|table5|fig1|fig2|fig3|all>
                                    run the paper-reproduction experiments
   fmt      [-w] [file...]          reformat .mpeg module files (stdin without args)
 `)
@@ -341,7 +341,7 @@ func cmdExperiment(args []string, w io.Writer) error {
 	minTime := fs.Duration("mintime", 300*time.Millisecond, "measurement window per configuration")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table4|fig1..fig3|all>")
+		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|fig1..fig3|all>")
 	}
 	opts := experiments.Options{InputKB: *kb, MinTime: *minTime}
 	if fs.Arg(0) == "all" {

@@ -153,6 +153,10 @@ func TestExperimentCommand(t *testing.T) {
 	if code != 0 || !strings.Contains(out, "calc.core") {
 		t.Fatalf("table1: code=%d", code)
 	}
+	out, _, code = runCmd(t, "", "experiment", "-kb", "4", "-mintime", "1ms", "table5")
+	if code != 0 || !strings.Contains(out, "engine residency") || !strings.Contains(out, "reused session") {
+		t.Fatalf("table5: code=%d out=%q", code, out)
+	}
 }
 
 func TestFmtCommand(t *testing.T) {

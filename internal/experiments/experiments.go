@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -101,7 +102,7 @@ func (t Table) Render() string {
 // All runs every experiment.
 func All(opts Options) []Table {
 	return []Table{
-		Table1(), Table2(opts), Table3(opts), Table4(opts),
+		Table1(), Table2(opts), Table3(opts), Table4(opts), Table5(opts),
 		Fig1(opts), Fig2(opts), Fig3(opts),
 	}
 }
@@ -117,6 +118,8 @@ func ByID(id string, opts Options) (Table, error) {
 		return Table3(opts), nil
 	case "table4":
 		return Table4(opts), nil
+	case "table5":
+		return Table5(opts), nil
 	case "fig1":
 		return Fig1(opts), nil
 	case "fig2":
@@ -411,6 +414,102 @@ func Table4(opts Options) Table {
 		"parse extended-language corpus (MB/s)", "n/a (rejects)",
 		mbPerSec(len(extInput), dExt),
 	})
+	return t
+}
+
+// ---------------------------------------------------------------- table5
+
+// allocsPerOp measures the mean heap allocations and bytes of one run of
+// fn (after one warm-up run), independent of testing.B so the CLI can
+// report it.
+func allocsPerOp(fn func()) (allocs, bytes float64) {
+	fn()
+	const runs = 4
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs,
+		float64(after.TotalAlloc-before.TotalAlloc) / runs
+}
+
+// Table5 measures engine residency: what amortizing the parse session's
+// memo storage across parses buys. One operation parses a corpus of
+// distinct Java-subset files, either with a cold session per file (the
+// allocate-everything-per-parse baseline), with pooled sessions
+// (Program.Parse's steady state), with one explicit reused session, or
+// fanned across GOMAXPROCS workers via the concurrent batch API.
+func Table5(opts Options) Table {
+	opts = opts.normalized()
+	const nFiles = 16
+	fileKB := opts.InputKB / 4
+	if fileKB < 1 {
+		fileKB = 1
+	}
+	var srcs []*text.Source
+	var totalBytes int
+	for i := 0; i < nFiles; i++ {
+		in := workload.JavaProgram(workload.Config{Seed: int64(100 + i), Size: fileKB * 1024})
+		totalBytes += len(in)
+		srcs = append(srcs, text.NewSource(fmt.Sprintf("file%d", i), in))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	t := Table{
+		ID:    "Table 5",
+		Title: fmt.Sprintf("engine residency (java.core, %d files x %d KB per op)", nFiles, fileKB),
+		Header: []string{"configuration", "MB/s", "rel-time", "allocs/op", "allocKB/op"},
+		Notes: []string{
+			fmt.Sprintf("batch-parallel uses %d worker(s) (GOMAXPROCS)", workers),
+			"one op = parse all files; cold builds a fresh session per file, the others recycle memo storage",
+		},
+	}
+	prog, err := buildProgram(grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	session := prog.NewSession()
+	configs := []struct {
+		name string
+		op   func()
+	}{
+		{"cold session per parse", func() {
+			for _, src := range srcs {
+				prog.NewSession().Parse(src)
+			}
+		}},
+		{"pooled (Program.Parse)", func() {
+			for _, src := range srcs {
+				prog.Parse(src)
+			}
+		}},
+		{"reused session", func() {
+			for _, src := range srcs {
+				session.Parse(src)
+			}
+		}},
+		{"batch-parallel (ParseAll)", func() {
+			prog.ParseAll(srcs, workers)
+		}},
+	}
+	var base time.Duration
+	for _, c := range configs {
+		runtime.GC() // level the heap so earlier rows' garbage doesn't skew later ones
+		d := measure(opts.MinTime, c.op)
+		allocs, bytes := allocsPerOp(c.op)
+		if base == 0 {
+			base = d
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name,
+			mbPerSec(totalBytes, d),
+			fmt.Sprintf("%.2fx", float64(d)/float64(base)),
+			fmt.Sprintf("%.0f", allocs),
+			fmt.Sprintf("%.0f", bytes/1024),
+		})
+	}
 	return t
 }
 

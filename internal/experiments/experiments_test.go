@@ -169,13 +169,13 @@ func TestByIDAndAll(t *testing.T) {
 	if err != nil || tbl.ID != "Table 1" {
 		t.Fatalf("ByID: %v", err)
 	}
-	for _, id := range []string{"table2", "table3", "table4", "fig1", "fig2", "fig3"} {
+	for _, id := range []string{"table2", "table3", "table4", "table5", "fig1", "fig2", "fig3"} {
 		if _, err := ByID(id, Options{InputKB: 2, MinTime: time.Millisecond}); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 	}
-	// All with minimal settings must produce 7 tables.
-	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 7 {
+	// All with minimal settings must produce 8 tables.
+	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 8 {
 		t.Fatalf("All = %d tables", len(got))
 	}
 }
@@ -186,3 +186,26 @@ func fmtSscan(s string, v any) (int, error) {
 }
 
 func sscan(s string, v any) (int, error) { return fmt.Sscan(s, v) }
+
+func TestTable5Shapes(t *testing.T) {
+	tbl := Table5(fast())
+	if tbl.ID != "Table 5" || len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d: %v", len(tbl.Rows), tbl.Notes)
+	}
+	if cell(tbl, 0, 0) != "cold session per parse" || cell(tbl, 0, 2) != "1.00x" {
+		t.Fatalf("baseline row = %v", tbl.Rows[0])
+	}
+	// The headline claim: recycling sessions sheds the per-parse
+	// allocations. The reused-session row must allocate far less than the
+	// cold baseline (machinery gone; only semantic values remain).
+	var coldAllocs, warmAllocs float64
+	fmt.Sscan(cell(tbl, 0, 3), &coldAllocs)
+	fmt.Sscan(cell(tbl, 2, 3), &warmAllocs)
+	if warmAllocs >= coldAllocs {
+		t.Errorf("reused session allocs %v must be below cold %v", warmAllocs, coldAllocs)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "engine residency") {
+		t.Fatalf("render = %q", out[:60])
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"modpeg/internal/analysis"
 	"modpeg/internal/peg"
@@ -81,7 +82,9 @@ func (o Options) String() string {
 	}
 }
 
-// Program is a compiled grammar ready for execution.
+// Program is a compiled grammar ready for execution. It is read-only
+// after Compile, so one Program may serve any number of goroutines
+// concurrently (each parse works on its own Parser session).
 type Program struct {
 	opts  Options
 	prods []prodInfo
@@ -89,6 +92,9 @@ type Program struct {
 	root  int
 	// memoCols is the number of memo columns (memoized productions).
 	memoCols int
+	// pool recycles Parser sessions across Parse calls; it is the only
+	// mutable (and internally synchronized) part of a compiled program.
+	pool sync.Pool
 }
 
 type valueKind uint8

@@ -38,6 +38,22 @@ func (s Stats) String() string {
 		s.ChunksAllocated, s.MemoBytes, s.MaxPos)
 }
 
+// Add accumulates o into s, summing the counters and taking the maximum
+// of MaxPos — the aggregation used for batch-parse reporting.
+func (s *Stats) Add(o Stats) {
+	s.Calls += o.Calls
+	s.DispatchSkips += o.DispatchSkips
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
+	s.MemoStores += o.MemoStores
+	s.ChunksAllocated += o.ChunksAllocated
+	s.ChunkRows += o.ChunkRows
+	s.MemoBytes += o.MemoBytes
+	if o.MaxPos > s.MaxPos {
+		s.MaxPos = o.MaxPos
+	}
+}
+
 // ParseError describes a failed parse with the farthest failure heuristic:
 // the position the parser got stuck at and the terminals/productions it
 // tried there.
@@ -79,13 +95,24 @@ const (
 	memoOK
 )
 
-// memoEntrySize approximates the heap footprint of one entry (state+end,
-// padding, and the two-word interface value).
-const memoEntrySize = 24
-
-// mapEntryOverhead approximates a hash map cell (key + entry + bucket
-// overhead) for the map-based layout.
-const mapEntryOverhead = 48
+// Memo footprint model (Stats.MemoBytes). Both layouts are charged for
+// the same 24-byte entry payload (state+end packed into one word plus a
+// two-word interface value) so their estimates are directly comparable:
+//
+//   - chunked: every allocated chunk is chunkSize entries of
+//     memoEntrySize bytes, plus one 8-byte chunk pointer per directory
+//     slot of every position that allocated a directory row;
+//   - map: every entry stores an 8-byte (pos, column) key next to the
+//     memoEntrySize value (32 payload bytes per entry), plus one
+//     control/tophash byte per slot — but slots are only ~65% occupied
+//     on average, because the runtime map doubles its capacity and fills
+//     from half the maximum ~7/8 load factor back up. Charged per live
+//     entry that is (8 + 24 + 1) / 0.65 ≈ 51 bytes, rounded up to
+//     payload + 24 = 56 to cover table headers and overflow storage.
+const (
+	memoEntrySize = 24
+	mapEntryBytes = 8 + memoEntrySize + 24
+)
 
 // chunkSize is the number of memo columns grouped into one lazily
 // allocated chunk — the Rats! chunk optimization: positions pay only for
@@ -95,8 +122,10 @@ const chunkSize = 8
 // memoChunk is one group of memo entries.
 type memoChunk [chunkSize]memoEntry
 
-// Parser executes one Program over one input. A Parser is single-use and
-// not safe for concurrent use; create one per parse (Program.Parse does).
+// Parser executes one Program over one input at a time. A Parser is
+// reusable — begin rewinds it for the next input, recycling the memo
+// arenas — but never safe for concurrent use. Program.Parse maintains a
+// pool of Parsers; Program.NewSession hands one to the caller directly.
 type Parser struct {
 	prog  *Program
 	src   *text.Source
@@ -104,11 +133,27 @@ type Parser struct {
 	stats Stats
 
 	// chunked memo: per position, a lazily allocated directory of lazily
-	// allocated chunks of chunkSize columns each.
+	// allocated chunks of chunkSize columns each. The directory slice is
+	// kept across parses and grown monotonically; begin clears the window
+	// the previous parse used so stale rows can never be read. Rows and
+	// chunks live in the session arenas.
 	chunks     [][]*memoChunk
 	chunkCount int // chunks per position: ceil(memoCols / chunkSize)
-	// map memo keyed by position*memoCols + column.
+	// map memo keyed by position*memoCols + column (cleared, not
+	// reallocated, between parses).
 	memoMap map[int64]memoEntry
+
+	// session allocators (see arena.go).
+	chunkArena chunkArena
+	rowArena   rowArena
+	values     valueArena
+
+	// scratch is the shared stack where sequences and repetitions
+	// accumulate item values before copying them out at their final size.
+	// Callers push at len(scratch) and truncate back to their base mark;
+	// recursion preserves the stack discipline because nested expressions
+	// finish (and truncate) before the enclosing one pushes again.
+	scratch []ast.Value
 
 	// farthest-failure tracking: a small dedup slice (not a map) because
 	// fail() runs on every mismatched terminal — the hottest path in the
@@ -131,51 +176,101 @@ const maxExpected = 16
 // Parse runs the program over src, requiring the root production to match
 // and to consume the whole input. It returns the semantic value and the
 // parse statistics.
+//
+// Parse draws its Parser from an internal pool, so a hot loop of parses
+// reaches a steady state with no parser-machinery allocations; see
+// NewSession for the explicitly managed variant. Parse is safe to call
+// from multiple goroutines: the Program itself is read-only after Compile
+// and every call works on its own pooled Parser.
 func (p *Program) Parse(src *text.Source) (ast.Value, Stats, error) {
-	ps := newParser(p, src)
+	ps := p.acquire()
+	ps.begin(src)
 	val, err := ps.run()
-	return val, ps.stats, err
+	stats := ps.stats
+	p.release(ps)
+	return val, stats, err
 }
 
 // ParseWithTrace is Parse with a human-readable call trace streamed to w:
 // one line per production entry, exit, and memo hit, indented by call
 // depth. Intended for grammar debugging, not production use.
 func (p *Program) ParseWithTrace(src *text.Source, w io.Writer) (ast.Value, Stats, error) {
-	ps := newParser(p, src)
+	ps := p.acquire()
+	ps.begin(src)
 	ps.trace = w
 	val, err := ps.run()
-	return val, ps.stats, err
+	stats := ps.stats
+	p.release(ps)
+	return val, stats, err
 }
 
 // ParsePrefix runs the program over src, requiring the root production to
 // match at position 0 but not to consume the whole input. It returns the
 // value, the number of bytes consumed, and the statistics.
 func (p *Program) ParsePrefix(src *text.Source) (ast.Value, int, Stats, error) {
-	ps := newParser(p, src)
-	end, val, ok := ps.parseProd(p.root, 0)
-	if !ok {
-		return nil, 0, ps.stats, ps.syntaxError()
-	}
-	ps.finishStats()
-	return val, end, ps.stats, nil
+	ps := p.acquire()
+	ps.begin(src)
+	val, end, err := ps.runPrefix()
+	stats := ps.stats
+	p.release(ps)
+	return val, end, stats, err
 }
 
-func newParser(p *Program, src *text.Source) *Parser {
-	ps := &Parser{
-		prog:    p,
-		src:     src,
-		in:      src.Content(),
-		failPos: -1,
+// acquire returns a pooled Parser for p, making a fresh one when the pool
+// is empty.
+func (p *Program) acquire() *Parser {
+	if ps, ok := p.pool.Get().(*Parser); ok {
+		return ps
 	}
-	if p.opts.Memoize {
-		if p.opts.ChunkedMemo {
-			ps.chunkCount = (p.memoCols + chunkSize - 1) / chunkSize
-			ps.chunks = make([][]*memoChunk, len(ps.in)+1)
+	return &Parser{prog: p}
+}
+
+// release returns ps to the pool. The parser keeps its arenas (and,
+// until its next begin, references to the last parse's memoized values);
+// the pool drops idle parsers on GC, bounding that retention.
+func (p *Program) release(ps *Parser) {
+	ps.trace = nil
+	p.pool.Put(ps)
+}
+
+// begin rewinds the parser for a new input: statistics and failure state
+// are reset, the memo arenas are recycled, and the chunk-directory window
+// used by the previous parse is cleared so no stale entry survives.
+func (ps *Parser) begin(src *text.Source) {
+	ps.src = src
+	ps.in = src.Content()
+	ps.stats = Stats{}
+	ps.failPos = -1
+	ps.failExpected = ps.failExpected[:0]
+	ps.quiet = 0
+	ps.trace = nil
+	ps.traceDepth = 0
+	// Drop value references parked in the scratch stack's capacity.
+	scratch := ps.scratch[:cap(ps.scratch)]
+	clear(scratch)
+	ps.scratch = ps.scratch[:0]
+	if !ps.prog.opts.Memoize {
+		return
+	}
+	if ps.prog.opts.ChunkedMemo {
+		ps.chunkCount = (ps.prog.memoCols + chunkSize - 1) / chunkSize
+		ps.chunkArena.reset()
+		ps.rowArena.reset()
+		// len(ps.chunks) is exactly the previous parse's window; clearing
+		// it removes every row pointer that parse installed.
+		clear(ps.chunks)
+		n := len(ps.in) + 1
+		if cap(ps.chunks) >= n {
+			ps.chunks = ps.chunks[:n]
 		} else {
+			ps.chunks = make([][]*memoChunk, n)
+		}
+	} else {
+		if ps.memoMap == nil {
 			ps.memoMap = make(map[int64]memoEntry)
 		}
+		clear(ps.memoMap)
 	}
-	return ps
 }
 
 func (ps *Parser) run() (ast.Value, error) {
@@ -186,7 +281,7 @@ func (ps *Parser) run() (ast.Value, error) {
 	if end != len(ps.in) {
 		if end > ps.failPos {
 			ps.failPos = end
-			ps.failExpected = []string{"end of input"}
+			ps.failExpected = append(ps.failExpected[:0], "end of input")
 		}
 		return nil, ps.syntaxError()
 	}
@@ -194,12 +289,20 @@ func (ps *Parser) run() (ast.Value, error) {
 	return val, nil
 }
 
+func (ps *Parser) runPrefix() (ast.Value, int, error) {
+	end, val, ok := ps.parseProd(ps.prog.root, 0)
+	if !ok {
+		return nil, 0, ps.syntaxError()
+	}
+	ps.finishStats()
+	return val, end, nil
+}
+
 func (ps *Parser) finishStats() {
-	// Chunk bytes: the entries themselves plus the per-position chunk
-	// directories (one pointer per chunk slot).
+	// See the memo footprint model above memoEntrySize/mapEntryBytes.
 	ps.stats.MemoBytes = ps.stats.ChunksAllocated*chunkSize*memoEntrySize +
 		ps.stats.ChunkRows*ps.chunkCount*8 +
-		len(ps.memoMap)*mapEntryOverhead
+		len(ps.memoMap)*mapEntryBytes
 }
 
 func (ps *Parser) syntaxError() error {
@@ -293,7 +396,7 @@ func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 	if ok {
 		switch info.kind {
 		case valText:
-			val = ast.NewToken(ps.in[pos:end], text.NewSpan(text.Pos(pos), text.Pos(end)))
+			val = ps.values.newToken(ps.in[pos:end], text.NewSpan(text.Pos(pos), text.Pos(end)))
 		case valVoid:
 			val = nil
 		default:
@@ -342,13 +445,13 @@ func (ps *Parser) memoStore(pos, col int, e memoEntry) {
 	if ps.chunks != nil {
 		row := ps.chunks[pos]
 		if row == nil {
-			row = make([]*memoChunk, ps.chunkCount)
+			row = ps.rowArena.alloc(ps.chunkCount)
 			ps.chunks[pos] = row
 			ps.stats.ChunkRows++
 		}
 		chunk := row[col/chunkSize]
 		if chunk == nil {
-			chunk = new(memoChunk)
+			chunk = ps.chunkArena.alloc()
 			row[col/chunkSize] = chunk
 			ps.stats.ChunksAllocated++
 		}
@@ -381,7 +484,7 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 		if n.void {
 			return pos + 1, nil, true
 		}
-		return pos + 1, ast.NewToken(ps.in[pos:pos+1], text.NewSpan(text.Pos(pos), text.Pos(pos+1))), true
+		return pos + 1, ps.values.newToken(ps.in[pos:pos+1], text.NewSpan(text.Pos(pos), text.Pos(pos+1))), true
 
 	case nAny:
 		if pos >= len(ps.in) {
@@ -391,7 +494,7 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 		if n.void {
 			return pos + 1, nil, true
 		}
-		return pos + 1, ast.NewToken(ps.in[pos:pos+1], text.NewSpan(text.Pos(pos), text.Pos(pos+1))), true
+		return pos + 1, ps.values.newToken(ps.in[pos:pos+1], text.NewSpan(text.Pos(pos), text.Pos(pos+1))), true
 
 	case nCall:
 		return ps.parseProd(n.prod, pos)
@@ -401,7 +504,7 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 		if !ok {
 			return 0, nil, false
 		}
-		return end, ast.NewToken(ps.in[pos:end], text.NewSpan(text.Pos(pos), text.Pos(end))), true
+		return end, ps.values.newToken(ps.in[pos:end], text.NewSpan(text.Pos(pos), text.Pos(end))), true
 
 	case *nAnd:
 		ps.quiet++
@@ -435,8 +538,22 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 
 	case *nRepeat:
 		cur := pos
-		var list ast.List
 		count := 0
+		if n.void {
+			for {
+				end, _, ok := ps.eval(n.body, cur)
+				if !ok {
+					break
+				}
+				cur = end
+				count++
+			}
+			if count < n.min {
+				return 0, nil, false
+			}
+			return cur, nil, true
+		}
+		base := len(ps.scratch)
 		for {
 			end, val, ok := ps.eval(n.body, cur)
 			if !ok {
@@ -444,16 +561,16 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 			}
 			cur = end
 			count++
-			if !n.void && val != nil {
-				list = append(list, val)
+			if val != nil {
+				ps.scratch = append(ps.scratch, val)
 			}
 		}
 		if count < n.min {
+			ps.scratch = ps.scratch[:base]
 			return 0, nil, false
 		}
-		if n.void {
-			return cur, nil, true
-		}
+		list := ast.List(ps.values.copyVals(ps.scratch[base:]))
+		ps.scratch = ps.scratch[:base]
 		if list == nil {
 			list = ast.List{}
 		}
@@ -491,11 +608,12 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 		for {
 			for i := range n.suffixes {
 				s := &n.suffixes[i]
-				nend, vals, ok := ps.evalSeqItems(s, end)
+				nend, base, ok := ps.evalSeqItems(s, end)
 				if !ok {
 					continue
 				}
-				acc = foldLeft(acc, s, vals, pos, nend)
+				acc = ps.foldLeft(acc, s, base, pos, nend)
+				ps.scratch = ps.scratch[:base]
 				end = nend
 				continue grow
 			}
@@ -513,31 +631,33 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 
 // evalSeq evaluates a sequence and builds its value per the sequence rules.
 func (ps *Parser) evalSeq(n *nSeq, pos int) (int, ast.Value, bool) {
-	end, vals, ok := ps.evalSeqItems(n, pos)
+	end, base, ok := ps.evalSeqItems(n, pos)
 	if !ok {
 		return 0, nil, false
 	}
 	if n.void {
 		return end, nil, true
 	}
-	return end, seqValue(n, vals, pos, end), true
+	v := ps.seqValue(n, base, pos, end)
+	ps.scratch = ps.scratch[:base]
+	return end, v, true
 }
 
-// evalSeqItems matches the items of a sequence, collecting the values that
+// evalSeqItems matches the items of a sequence, pushing the values that
 // participate in the sequence's result (bound values verbatim under a
 // binding constructor, non-nil values otherwise; splice sequences build a
-// flat list).
-func (ps *Parser) evalSeqItems(n *nSeq, pos int) (int, []ast.Value, bool) {
+// flat list) onto the scratch stack. It returns the end position and the
+// stack base mark; the caller reads ps.scratch[base:] and must truncate
+// back to base. On failure the stack is already truncated.
+func (ps *Parser) evalSeqItems(n *nSeq, pos int) (int, int, bool) {
+	base := len(ps.scratch)
 	cur := pos
-	var vals []ast.Value
-	if n.splice {
-		vals = ast.List{}
-	}
 	for i := range n.items {
 		it := &n.items[i]
 		end, val, ok := ps.eval(it.n, cur)
 		if !ok {
-			return 0, nil, false
+			ps.scratch = ps.scratch[:base]
+			return 0, base, false
 		}
 		cur = end
 		if n.void {
@@ -547,36 +667,41 @@ func (ps *Parser) evalSeqItems(n *nSeq, pos int) (int, []ast.Value, bool) {
 			switch it.role {
 			case roleHead:
 				if val != nil {
-					vals = append(vals, val)
+					ps.scratch = append(ps.scratch, val)
 				}
 			case roleTail:
 				if l, isList := val.(ast.List); isList {
-					vals = append(vals, l...)
+					ps.scratch = append(ps.scratch, l...)
 				}
 			}
 			continue
 		}
 		if n.ctor != "" && n.hasBind {
 			if it.bound {
-				vals = append(vals, val)
+				ps.scratch = append(ps.scratch, val)
 			}
 		} else if val != nil {
-			vals = append(vals, val)
+			ps.scratch = append(ps.scratch, val)
 		}
 	}
-	return cur, vals, true
+	return cur, base, true
 }
 
-// seqValue assembles a sequence's semantic value from its collected item
-// values.
-func seqValue(n *nSeq, vals []ast.Value, start, end int) ast.Value {
+// seqValue assembles a sequence's semantic value from the item values at
+// ps.scratch[base:], copying them out of the scratch stack at their final
+// size. The caller truncates the stack.
+func (ps *Parser) seqValue(n *nSeq, base, start, end int) ast.Value {
+	vals := ps.scratch[base:]
 	if n.splice {
-		return ast.List(vals)
+		out := ps.values.copyVals(vals)
+		if out == nil {
+			out = []ast.Value{}
+		}
+		return ast.List(out)
 	}
 	if n.ctor != "" {
-		node := ast.NewNode(n.ctor, vals...)
-		node.Span = text.NewSpan(text.Pos(start), text.Pos(end))
-		return node
+		return ps.values.newNode(n.ctor, ps.values.copyVals(vals),
+			text.NewSpan(text.Pos(start), text.Pos(end)))
 	}
 	switch len(vals) {
 	case 0:
@@ -584,21 +709,27 @@ func seqValue(n *nSeq, vals []ast.Value, start, end int) ast.Value {
 	case 1:
 		return vals[0]
 	default:
-		return ast.List(vals)
+		return ast.List(ps.values.copyVals(vals))
 	}
 }
 
-// foldLeft folds one left-recursion suffix match into the accumulated
-// value.
-func foldLeft(acc ast.Value, s *nSeq, vals []ast.Value, start, end int) ast.Value {
+// foldLeft folds one left-recursion suffix match (its values at
+// ps.scratch[base:]) into the accumulated value. The caller truncates the
+// stack.
+func (ps *Parser) foldLeft(acc ast.Value, s *nSeq, base, start, end int) ast.Value {
+	vals := ps.scratch[base:]
 	if s.ctor != "" {
-		children := append([]ast.Value{acc}, vals...)
-		node := ast.NewNode(s.ctor, children...)
-		node.Span = text.NewSpan(text.Pos(start), text.Pos(end))
-		return node
+		children := ps.values.carve(len(vals) + 1)
+		children[0] = acc
+		copy(children[1:], vals)
+		return ps.values.newNode(s.ctor, children,
+			text.NewSpan(text.Pos(start), text.Pos(end)))
 	}
 	if len(vals) == 0 {
 		return acc
 	}
-	return ast.List(append([]ast.Value{acc}, vals...))
+	out := ps.values.carve(len(vals) + 1)
+	out[0] = acc
+	copy(out[1:], vals)
+	return ast.List(out)
 }

@@ -202,10 +202,64 @@ func New(top string, opts ...Option) (*Parser, error) {
 
 // Parse parses input (name labels it in diagnostics), requiring the root
 // production to consume the whole input.
+//
+// Parse draws a pooled parse session internally, so calling it in a hot
+// loop reaches a steady state with no parser-machinery allocations. It is
+// safe to call concurrently from multiple goroutines; every call works on
+// its own session.
 func (p *Parser) Parse(name, input string) (Value, error) {
 	v, _, err := p.prog.Parse(text.NewSource(name, input))
 	return v, err
 }
+
+// Session is an explicitly managed, reusable parse context: the memo
+// table's storage and the engine's scratch buffers survive from parse to
+// parse, so a session parsing many inputs in sequence performs zero
+// parser-machinery allocations at steady state. Results are identical to
+// Parser.Parse — the recycled state is never consulted across inputs.
+//
+// A Session must not be used from more than one goroutine at a time;
+// create one per goroutine (or use ParseBatch, which does).
+type Session struct {
+	s *vm.Session
+}
+
+// NewSession creates a reusable parse session for the parser's compiled
+// program.
+func (p *Parser) NewSession() *Session {
+	return &Session{s: p.prog.NewSession()}
+}
+
+// Parse is Parser.Parse on the reusable session context.
+func (s *Session) Parse(name, input string) (Value, error) {
+	v, _, err := s.s.Parse(text.NewSource(name, input))
+	return v, err
+}
+
+// ParseWithStats is Parse plus the engine statistics of the run.
+func (s *Session) ParseWithStats(name, input string) (Value, ParseStats, error) {
+	return s.s.Parse(text.NewSource(name, input))
+}
+
+// BatchResult is the outcome of one input of a ParseBatch call.
+type BatchResult = vm.Result
+
+// ParseBatch parses every input concurrently across at most workers
+// goroutines (GOMAXPROCS when workers <= 0), each running its own pooled
+// parse session. The result slice is order-preserving: result[i] is the
+// outcome of inputs[i] — value, per-input statistics, and error —
+// regardless of which worker parsed it or when it finished. Input i is
+// labelled "name[i]" in diagnostics.
+func (p *Parser) ParseBatch(name string, inputs []string, workers int) []BatchResult {
+	srcs := make([]*text.Source, len(inputs))
+	for i, in := range inputs {
+		srcs[i] = text.NewSource(fmt.Sprintf("%s[%d]", name, i), in)
+	}
+	return p.prog.ParseAll(srcs, workers)
+}
+
+// BatchStats aggregates the per-input statistics of a batch.
+func BatchStats(results []BatchResult) ParseStats { return vm.TotalStats(results) }
 
 // ParseWithStats is Parse plus the engine statistics of the run.
 func (p *Parser) ParseWithStats(name, input string) (Value, ParseStats, error) {

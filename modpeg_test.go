@@ -220,3 +220,100 @@ func TestLintAndJSONAndTraceAPI(t *testing.T) {
 		t.Fatal("trace must show memo activity")
 	}
 }
+
+func TestSessionFacade(t *testing.T) {
+	p, err := New("calc.full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewSession()
+	inputs := []string{"1 + 2**3", "4*5", "1 + 2**3"}
+	for _, in := range inputs {
+		want, wantStats, err := p.ParseWithStats("in", in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotStats, err := s.ParseWithStats("in", in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ValuesEqual(got, want) {
+			t.Fatalf("input %q: session %s, cold %s", in, FormatValue(got), FormatValue(want))
+		}
+		if gotStats != wantStats {
+			t.Fatalf("input %q: stats drift %v vs %v", in, gotStats, wantStats)
+		}
+	}
+	if _, err := s.Parse("bad", "1 +"); err == nil {
+		t.Fatal("session must propagate parse errors")
+	}
+	if v, err := s.Parse("in", "2*3"); err != nil || FormatValue(v) != `(Mul (Num "2") (Num "3"))` {
+		t.Fatalf("session after failure: %v %v", v, err)
+	}
+}
+
+func TestParseBatchFacade(t *testing.T) {
+	p, err := New("json.value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []string{
+		`{"a": 1, "b": [true, false]}`,
+		`not json`,
+		`[1, 2, 3]`,
+		`"hello"`,
+	}
+	results := p.ParseBatch("doc", inputs, 0)
+	if len(results) != len(inputs) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		want, err := p.Parse("x", inputs[i])
+		if (err == nil) != (r.Err == nil) {
+			t.Fatalf("input %d: batch err %v, direct err %v", i, r.Err, err)
+		}
+		if r.Err == nil && !ValuesEqual(r.Value, want) {
+			t.Fatalf("input %d: %s vs %s", i, FormatValue(r.Value), FormatValue(want))
+		}
+	}
+	if results[1].Err == nil {
+		t.Fatal("invalid input must fail in place")
+	}
+	if !strings.Contains(results[1].Err.Error(), "doc[1]") {
+		t.Fatalf("batch error must carry the indexed name: %v", results[1].Err)
+	}
+	total := BatchStats(results)
+	if total.Calls <= results[0].Stats.Calls {
+		t.Fatalf("aggregate stats too small: %v", total)
+	}
+}
+
+// TestSteadyStateAllocsJava bounds the pooled path on a real grammar: a
+// warm session parsing the Java-subset corpus must allocate at most a
+// small fraction of a cold parse (only value slabs and list headers
+// remain; the parser machinery is recycled).
+func TestSteadyStateAllocsJava(t *testing.T) {
+	p, err := New("java.core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := "class A { int f(int x) { return x * (x + 1); } void g() { f(2); } }"
+	cold := testing.AllocsPerRun(10, func() {
+		if _, err := p.NewSession().Parse("in", input); err != nil {
+			t.Fatal(err)
+		}
+	})
+	s := p.NewSession()
+	s.Parse("in", input)
+	warm := testing.AllocsPerRun(10, func() {
+		if _, err := s.Parse("in", input); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Generous bound: the warm path must shed at least half of the cold
+	// allocations even on this small input (on corpus-sized inputs the
+	// reduction is >95%; see BenchmarkTable5Sessions).
+	if warm > cold/2 {
+		t.Errorf("warm session allocs = %.1f, cold = %.1f: want warm <= cold/2", warm, cold)
+	}
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# verify.sh — the repo's full correctness gate: build everything, vet
+# everything, and run the whole test suite under the race detector (the
+# session pool and ParseAll make concurrency a first-class code path).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "verify: OK"
