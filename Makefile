@@ -1,4 +1,4 @@
-.PHONY: build test verify bench experiments
+.PHONY: build test verify bench profile experiments
 
 build:
 	go build ./...
@@ -6,13 +6,19 @@ build:
 test:
 	go test ./...
 
-# Full gate: build + vet + race-enabled test suite.
+# Full gate: gofmt drift + build + vet + race-enabled test suite.
 verify:
 	sh scripts/verify.sh
 
-# Session-residency benchmarks; writes BENCH_1.json.
+# Session-residency + observability-overhead benchmarks; writes
+# BENCH_2.json.
 bench:
 	sh scripts/bench.sh
+
+# Per-production profile of the bundled Java grammar on a generated
+# 40 KB workload: hot productions, memo behaviour, engine metrics.
+profile:
+	go run ./cmd/modpeg profile -gen 40 -n 3 -top 15 -metrics java.core
 
 experiments:
 	go run ./cmd/modpeg experiment all

@@ -10,6 +10,7 @@ package modpeg
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"modpeg/internal/codegen/gencalc"
@@ -431,6 +432,51 @@ func BenchmarkTable5Batch(b *testing.B) {
 				if r.Err != nil {
 					b.Fatal(r.Err)
 				}
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------- Table 6
+//
+// Observability overhead: the 40 KB java.core workload parsed with
+// instrumentation disabled (nil hook — must match Table 5's java/pooled
+// row within noise; the acceptance bound is <= 2%), with the
+// per-production profiler installed, and with the call trace streaming
+// into a discarding writer. scripts/bench.sh records this family in
+// BENCH_2.json.
+
+func BenchmarkTable6Observability(b *testing.B) {
+	input := workload.JavaProgram(workload.Config{Seed: 7, Size: 40 * 1024})
+	src := text.NewSource("bench", input)
+	prog := mustProgram(b, grammars.JavaCore, transform.Defaults(), vm.Optimized())
+
+	b.Run("disabled", func(b *testing.B) {
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := prog.Parse(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("profiled", func(b *testing.B) {
+		pr := prog.NewProfiler()
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := prog.ParseWithHook(src, pr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := prog.ParseWithTrace(src, io.Discard); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

@@ -28,6 +28,7 @@ import (
 	"modpeg/internal/peg"
 	"modpeg/internal/syntax"
 	"modpeg/internal/vm"
+	"modpeg/internal/workload"
 )
 
 func main() {
@@ -52,6 +53,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdCheck(rest, stdout)
 	case "parse":
 		err = cmdParse(rest, stdin, stdout)
+	case "profile":
+		err = cmdProfile(rest, stdin, stdout)
 	case "generate":
 		err = cmdGenerate(rest, stdout)
 	case "experiment":
@@ -82,11 +85,14 @@ commands:
   print    [-d dir] [-optimized] <top>
                                    print the composed grammar
   check    [-d dir] <top>          compose and run the static checks
-  parse    [-d dir] [-indent] [-stats] <top> [file]
+  parse    [-d dir] [-indent] [-stats] [-profile] <top> [file]
                                    parse a file (or stdin) and print the AST
+  profile  [-d dir] [-n reps] [-top n] [-json] [-metrics] [-gen kb] <top> [file]
+                                   profile parses of a file (or stdin, or a
+                                   generated corpus) per production
   generate [-d dir] [-pkg p] [-o file] <top>
                                    emit a standalone Go parser
-  experiment [-kb n] [-mintime d] <table1|table2|table3|table4|table5|fig1|fig2|fig3|all>
+  experiment [-kb n] [-mintime d] <table1|table2|table3|table4|table5|fig1|fig2|fig3|hotprods|all>
                                    run the paper-reproduction experiments
   fmt      [-w] [file...]          reformat .mpeg module files (stdin without args)
 `)
@@ -219,9 +225,10 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 	asJSON := fs.Bool("json", false, "print the AST as JSON")
 	withStats := fs.Bool("stats", false, "print engine statistics")
 	withTrace := fs.Bool("trace", false, "stream a production-call trace before the AST")
+	withProfile := fs.Bool("profile", false, "print the top-10 hot productions after the AST")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
-		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] <top-module> [file]")
+		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] [-profile] <top-module> [file]")
 	}
 	p, err := modpeg.New(fs.Arg(0), moduleOpts(*dir)...)
 	if err != nil {
@@ -242,9 +249,13 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 
 	var v modpeg.Value
 	var stats modpeg.ParseStats
-	if *withTrace {
+	var prof *modpeg.Profile
+	switch {
+	case *withTrace:
 		v, err = p.ParseWithTrace(name, string(input), w)
-	} else {
+	case *withProfile:
+		v, stats, prof, err = p.ParseWithProfile(name, string(input))
+	default:
 		v, stats, err = p.ParseWithStats(name, string(input))
 	}
 	if err != nil {
@@ -268,7 +279,113 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 	if *withStats {
 		fmt.Fprintf(w, "stats: %s\n", stats)
 	}
+	if prof != nil {
+		fmt.Fprintf(w, "\nhot productions:\n%s", prof.Report(10))
+	}
 	return nil
+}
+
+// cmdProfile parses an input repeatedly under the per-production
+// profiler and reports the aggregate: the hot-production table (or its
+// JSON encoding) whose call counts sum to the engine's Stats.Calls.
+func cmdProfile(args []string, stdin io.Reader, w io.Writer) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	dir := fs.String("d", "", "module directory")
+	reps := fs.Int("n", 1, "number of repeat parses to aggregate")
+	top := fs.Int("top", 0, "limit the table to the top n productions (0 = all active)")
+	asJSON := fs.Bool("json", false, "emit the profile as JSON")
+	withMetrics := fs.Bool("metrics", false, "also print the engine metrics registry snapshot")
+	genKB := fs.Int("gen", 0, "profile a generated synthetic corpus of this many KB instead of reading input")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
+		return fmt.Errorf("usage: modpeg profile [-d dir] [-n reps] [-top n] [-json] [-metrics] [-gen kb] <top-module> [file]")
+	}
+	if *reps < 1 {
+		return fmt.Errorf("profile: -n must be at least 1")
+	}
+	top_ := fs.Arg(0)
+	p, err := modpeg.New(top_, moduleOpts(*dir)...)
+	if err != nil {
+		return err
+	}
+
+	name := "<stdin>"
+	var input []byte
+	switch {
+	case *genKB > 0:
+		if fs.NArg() == 2 {
+			return fmt.Errorf("profile: -gen and a file argument are mutually exclusive")
+		}
+		text, err := syntheticCorpus(top_, *genKB)
+		if err != nil {
+			return err
+		}
+		name = fmt.Sprintf("<generated %dKB>", *genKB)
+		input = []byte(text)
+	case fs.NArg() == 2:
+		name = fs.Arg(1)
+		input, err = os.ReadFile(name)
+	default:
+		input, err = io.ReadAll(stdin)
+	}
+	if err != nil {
+		return err
+	}
+
+	var total modpeg.Profile
+	var stats modpeg.ParseStats
+	for i := 0; i < *reps; i++ {
+		_, st, prof, err := p.ParseWithProfile(name, string(input))
+		if err != nil {
+			if pe, ok := err.(*vm.ParseError); ok {
+				return fmt.Errorf("%s", pe.Detail())
+			}
+			return err
+		}
+		stats.Add(st)
+		if i == 0 {
+			total = *prof
+		} else {
+			total.Add(prof)
+		}
+	}
+
+	if *asJSON {
+		out, err := total.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(out))
+	} else {
+		fmt.Fprintf(w, "profile: %s, %d parse(s) of %s (%d bytes)\n\n", top_, *reps, name, len(input))
+		fmt.Fprint(w, total.Report(*top))
+		fmt.Fprintf(w, "\nstats: %s\n", stats)
+	}
+	if *withMetrics {
+		out, err := modpeg.Metrics().JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nengine metrics:\n%s\n", string(out))
+	}
+	return nil
+}
+
+// syntheticCorpus generates a deterministic workload for the bundled
+// language families so `modpeg profile -gen` needs no input file.
+func syntheticCorpus(top string, kb int) (string, error) {
+	cfg := workload.Config{Seed: 7, Size: kb * 1024}
+	switch {
+	case strings.HasPrefix(top, "java"):
+		return workload.JavaProgram(cfg), nil
+	case strings.HasPrefix(top, "c."), top == "c":
+		return workload.CProgram(cfg), nil
+	case strings.HasPrefix(top, "json"):
+		return workload.JSONDoc(cfg), nil
+	case strings.HasPrefix(top, "calc"):
+		return workload.Expression(cfg), nil
+	}
+	return "", fmt.Errorf("profile: no synthetic workload for module %q (have java*, c*, json*, calc*)", top)
 }
 
 func cmdGenerate(args []string, w io.Writer) error {
@@ -341,7 +458,7 @@ func cmdExperiment(args []string, w io.Writer) error {
 	minTime := fs.Duration("mintime", 300*time.Millisecond, "measurement window per configuration")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|fig1..fig3|all>")
+		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|fig1..fig3|hotprods|all>")
 	}
 	opts := experiments.Options{InputKB: *kb, MinTime: *minTime}
 	if fs.Arg(0) == "all" {

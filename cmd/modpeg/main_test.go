@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -221,5 +222,88 @@ func TestParseJSONFlag(t *testing.T) {
 	out, _, code := runCmd(t, "1+2", "parse", "-json", "calc.core")
 	if code != 0 || !strings.Contains(out, `"kind": "node"`) || !strings.Contains(out, `"name": "Add"`) {
 		t.Fatalf("json parse: code=%d out=%q", code, out)
+	}
+}
+
+func TestParseProfileFlag(t *testing.T) {
+	out, _, code := runCmd(t, "1+2*3", "parse", "-profile", "calc.core")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	for _, frag := range []string{"(Add", "hot productions:", "production", "calls", "total"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestProfileCommand(t *testing.T) {
+	out, errb, code := runCmd(t, `{"a": [1, 2, {"b": true}]}`, "profile", "-n", "3", "json.value")
+	if code != 0 {
+		t.Fatalf("code = %d, err = %s", code, errb)
+	}
+	for _, frag := range []string{"profile: json.value, 3 parse(s)", "production", "self-ms", "total", "stats: calls="} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	// The total row aggregates all 3 repetitions of the reported stats
+	// line: calls in the table == calls in the stats line.
+	lines := strings.Split(out, "\n")
+	var totalCalls, statsCalls string
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		if len(fields) > 1 && fields[0] == "total" {
+			totalCalls = fields[1]
+		}
+		if strings.HasPrefix(ln, "stats: calls=") {
+			statsCalls = strings.TrimPrefix(strings.SplitN(strings.Fields(ln)[1], " ", 2)[0], "calls=")
+		}
+	}
+	if totalCalls == "" || totalCalls != statsCalls {
+		t.Errorf("table total %q != stats calls %q in:\n%s", totalCalls, statsCalls, out)
+	}
+}
+
+func TestProfileCommandJSONAndGen(t *testing.T) {
+	out, errb, code := runCmd(t, "", "profile", "-gen", "2", "-json", "java.core")
+	if code != 0 {
+		t.Fatalf("code = %d, err = %s", code, errb)
+	}
+	var prof struct {
+		TotalCalls  int64 `json:"total_calls"`
+		Productions []struct {
+			Name  string `json:"name"`
+			Calls int64  `json:"calls"`
+		} `json:"productions"`
+	}
+	if err := json.Unmarshal([]byte(out), &prof); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if prof.TotalCalls <= 0 || len(prof.Productions) == 0 {
+		t.Fatalf("empty profile: %+v", prof)
+	}
+	var sum int64
+	for _, p := range prof.Productions {
+		sum += p.Calls
+	}
+	if sum != prof.TotalCalls {
+		t.Errorf("production calls sum %d != total_calls %d", sum, prof.TotalCalls)
+	}
+}
+
+func TestProfileCommandMetricsAndErrors(t *testing.T) {
+	out, _, code := runCmd(t, "1+2", "profile", "-metrics", "calc.core")
+	if code != 0 || !strings.Contains(out, "engine metrics:") || !strings.Contains(out, `"parses_started"`) {
+		t.Fatalf("metrics: code=%d out=%q", code, out)
+	}
+	if _, errb, code := runCmd(t, "", "profile"); code != 1 || !strings.Contains(errb, "usage:") {
+		t.Fatalf("missing module: code=%d err=%q", code, errb)
+	}
+	if _, errb, code := runCmd(t, "", "profile", "-n", "0", "calc.core"); code != 1 || !strings.Contains(errb, "-n") {
+		t.Fatalf("bad reps: code=%d err=%q", code, errb)
+	}
+	if _, errb, code := runCmd(t, "1x2", "profile", "calc.core"); code != 1 || errb == "" {
+		t.Fatalf("syntax error must fail: code=%d err=%q", code, errb)
 	}
 }

@@ -103,11 +103,12 @@ func (t Table) Render() string {
 func All(opts Options) []Table {
 	return []Table{
 		Table1(), Table2(opts), Table3(opts), Table4(opts), Table5(opts),
-		Fig1(opts), Fig2(opts), Fig3(opts),
+		Fig1(opts), Fig2(opts), Fig3(opts), HotProds(opts),
 	}
 }
 
-// ByID runs one experiment by its identifier ("table1" ... "fig3").
+// ByID runs one experiment by its identifier ("table1" ... "fig3",
+// "hotprods").
 func ByID(id string, opts Options) (Table, error) {
 	switch strings.ToLower(id) {
 	case "table1":
@@ -126,6 +127,8 @@ func ByID(id string, opts Options) (Table, error) {
 		return Fig2(opts), nil
 	case "fig3":
 		return Fig3(opts), nil
+	case "hotprods":
+		return HotProds(opts), nil
 	}
 	return Table{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
@@ -457,8 +460,8 @@ func Table5(opts Options) Table {
 	}
 	workers := runtime.GOMAXPROCS(0)
 	t := Table{
-		ID:    "Table 5",
-		Title: fmt.Sprintf("engine residency (java.core, %d files x %d KB per op)", nFiles, fileKB),
+		ID:     "Table 5",
+		Title:  fmt.Sprintf("engine residency (java.core, %d files x %d KB per op)", nFiles, fileKB),
 		Header: []string{"configuration", "MB/s", "rel-time", "allocs/op", "allocKB/op"},
 		Notes: []string{
 			fmt.Sprintf("batch-parallel uses %d worker(s) (GOMAXPROCS)", workers),
@@ -510,6 +513,66 @@ func Table5(opts Options) Table {
 			fmt.Sprintf("%.0f", bytes/1024),
 		})
 	}
+	return t
+}
+
+// ------------------------------------------------------------- hotprods
+
+// HotProds is the profile-backed hot-production experiment: where does
+// the optimized engine actually spend its time on the Java corpus? The
+// per-production profiler answers with self-time rankings — the
+// engine-level analogue of the paper's "which optimization pays"
+// tables, aimed at grammar authors ("which production to mark
+// transient/inline next"). It also measures what the profiler itself
+// costs against the uninstrumented engine, since an observability tool
+// that distorts the workload lies about it.
+func HotProds(opts Options) Table {
+	opts = opts.normalized()
+	input := workload.JavaProgram(workload.Config{Seed: 21, Size: opts.InputKB * 1024})
+	src := text.NewSource("bench", input)
+	t := Table{
+		ID:     "HotProds",
+		Title:  fmt.Sprintf("hot productions by self time (java.core, %d KB, optimized engine)", len(input)/1024),
+		Header: []string{"production", "calls", "memo-hits", "self-ms", "cum-ms", "self%"},
+	}
+	prog, err := buildProgram(grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	pr := prog.NewProfiler()
+	var stats vm.Stats
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		_, st, err := prog.ParseWithHook(src, pr)
+		if err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			return t
+		}
+		stats.Add(st)
+	}
+	prof := pr.Profile()
+	var totalSelf int64
+	for i := range prof.Prods {
+		totalSelf += prof.Prods[i].SelfNanos
+	}
+	for _, r := range prof.Top(10) {
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmt.Sprint(r.Calls), fmt.Sprint(r.MemoHits),
+			fmt.Sprintf("%.2f", float64(r.SelfNanos)/1e6),
+			fmt.Sprintf("%.2f", float64(r.CumNanos)/1e6),
+			fmt.Sprintf("%.1f", 100*float64(r.SelfNanos)/float64(totalSelf)),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"profile aggregates %d parses; total calls %d == engine stats calls %d",
+		reps, prof.TotalCalls(), stats.Calls))
+	dPlain := measure(opts.MinTime, func() { prog.Parse(src) })
+	dProf := measure(opts.MinTime, func() { prog.ParseWithHook(src, pr) })
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"profiler overhead: %.2fx (%s plain, %s profiled per parse)",
+		float64(dProf)/float64(dPlain), dPlain, dProf))
 	return t
 }
 

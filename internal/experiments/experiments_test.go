@@ -169,13 +169,13 @@ func TestByIDAndAll(t *testing.T) {
 	if err != nil || tbl.ID != "Table 1" {
 		t.Fatalf("ByID: %v", err)
 	}
-	for _, id := range []string{"table2", "table3", "table4", "table5", "fig1", "fig2", "fig3"} {
+	for _, id := range []string{"table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "hotprods"} {
 		if _, err := ByID(id, Options{InputKB: 2, MinTime: time.Millisecond}); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 	}
-	// All with minimal settings must produce 8 tables.
-	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 8 {
+	// All with minimal settings must produce 9 tables.
+	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 9 {
 		t.Fatalf("All = %d tables", len(got))
 	}
 }

@@ -52,12 +52,15 @@ func (a *chunkArena) nextSlab() {
 	}
 	if a.slab == len(a.slabs) {
 		a.slabs = append(a.slabs, make([]memoChunk, chunkSlabLen))
+		metrics.arenaCarved.Add(chunkSlabLen * chunkSize * memoEntrySize)
 	}
 	a.used = 0
 }
 
 // reset zeroes the carved prefix and rewinds, making every previously
-// handed-out chunk available — and empty — again.
+// handed-out chunk available — and empty — again. The recycled prefix
+// is credited to the metrics registry (Stats.MemoBytes model): memo
+// storage a session reuse saved the allocator from providing again.
 func (a *chunkArena) reset() {
 	for i := 0; i < a.slab; i++ {
 		clear(a.slabs[i])
@@ -65,6 +68,7 @@ func (a *chunkArena) reset() {
 	if a.slab < len(a.slabs) {
 		clear(a.slabs[a.slab][:a.used])
 	}
+	metrics.arenaRecycled.Add(int64(a.slab*chunkSlabLen+a.used) * chunkSize * memoEntrySize)
 	a.slab, a.used = 0, 0
 }
 
@@ -99,6 +103,7 @@ func (a *rowArena) nextSlab() {
 	}
 	if a.slab == len(a.slabs) {
 		a.slabs = append(a.slabs, make([]*memoChunk, rowSlabLen))
+		metrics.arenaCarved.Add(rowSlabLen * 8)
 	}
 	a.used = 0
 }
@@ -112,6 +117,7 @@ func (a *rowArena) reset() {
 	if a.slab < len(a.slabs) {
 		clear(a.slabs[a.slab][:a.used])
 	}
+	metrics.arenaRecycled.Add(int64(a.slab*rowSlabLen+a.used) * 8)
 	a.slab, a.used = 0, 0
 }
 

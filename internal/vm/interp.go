@@ -33,9 +33,9 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("calls=%d hits=%d misses=%d stores=%d skips=%d chunks=%d memoBytes=%d maxPos=%d",
+	return fmt.Sprintf("calls=%d hits=%d misses=%d stores=%d skips=%d chunks=%d chunkRows=%d memoBytes=%d maxPos=%d",
 		s.Calls, s.MemoHits, s.MemoMisses, s.MemoStores, s.DispatchSkips,
-		s.ChunksAllocated, s.MemoBytes, s.MaxPos)
+		s.ChunksAllocated, s.ChunkRows, s.MemoBytes, s.MaxPos)
 }
 
 // Add accumulates o into s, summing the counters and taking the maximum
@@ -164,10 +164,15 @@ type Parser struct {
 	// expected behaviour).
 	quiet int
 
-	// trace, when non-nil, receives one line per production entry and
-	// exit (the debugging aid; costs nothing when nil).
-	trace      io.Writer
-	traceDepth int
+	// hook, when non-nil, receives parse events (see hooks.go): the
+	// seam the trace and the profiler plug into. Costs one predictable
+	// nil check per event site when disabled.
+	hook Hook
+
+	// used marks a parser that has begun at least one parse, so begin
+	// can count warm rewinds (metrics.sessionResets) separately from
+	// cold first parses.
+	used bool
 }
 
 // maxExpected caps the recorded expectation set.
@@ -193,15 +198,10 @@ func (p *Program) Parse(src *text.Source) (ast.Value, Stats, error) {
 
 // ParseWithTrace is Parse with a human-readable call trace streamed to w:
 // one line per production entry, exit, and memo hit, indented by call
-// depth. Intended for grammar debugging, not production use.
+// depth. Intended for grammar debugging, not production use. The trace
+// is an event hook (see Hook); ParseWithHook installs any other.
 func (p *Program) ParseWithTrace(src *text.Source, w io.Writer) (ast.Value, Stats, error) {
-	ps := p.acquire()
-	ps.begin(src)
-	ps.trace = w
-	val, err := ps.run()
-	stats := ps.stats
-	p.release(ps)
-	return val, stats, err
+	return p.ParseWithHook(src, newTraceHook(p, w))
 }
 
 // ParsePrefix runs the program over src, requiring the root production to
@@ -219,9 +219,11 @@ func (p *Program) ParsePrefix(src *text.Source) (ast.Value, int, Stats, error) {
 // acquire returns a pooled Parser for p, making a fresh one when the pool
 // is empty.
 func (p *Program) acquire() *Parser {
+	metrics.poolGets.Add(1)
 	if ps, ok := p.pool.Get().(*Parser); ok {
 		return ps
 	}
+	metrics.poolNews.Add(1)
 	return &Parser{prog: p}
 }
 
@@ -229,7 +231,7 @@ func (p *Program) acquire() *Parser {
 // until its next begin, references to the last parse's memoized values);
 // the pool drops idle parsers on GC, bounding that retention.
 func (p *Program) release(ps *Parser) {
-	ps.trace = nil
+	ps.hook = nil
 	p.pool.Put(ps)
 }
 
@@ -237,14 +239,18 @@ func (p *Program) release(ps *Parser) {
 // are reset, the memo arenas are recycled, and the chunk-directory window
 // used by the previous parse is cleared so no stale entry survives.
 func (ps *Parser) begin(src *text.Source) {
+	metrics.parsesStarted.Add(1)
+	if ps.used {
+		metrics.sessionResets.Add(1)
+	}
+	ps.used = true
 	ps.src = src
 	ps.in = src.Content()
 	ps.stats = Stats{}
 	ps.failPos = -1
 	ps.failExpected = ps.failExpected[:0]
 	ps.quiet = 0
-	ps.trace = nil
-	ps.traceDepth = 0
+	ps.hook = nil
 	// Drop value references parked in the scratch stack's capacity.
 	scratch := ps.scratch[:cap(ps.scratch)]
 	clear(scratch)
@@ -286,6 +292,7 @@ func (ps *Parser) run() (ast.Value, error) {
 		return nil, ps.syntaxError()
 	}
 	ps.finishStats()
+	metrics.parsesCompleted.Add(1)
 	return val, nil
 }
 
@@ -295,6 +302,7 @@ func (ps *Parser) runPrefix() (ast.Value, int, error) {
 		return nil, 0, ps.syntaxError()
 	}
 	ps.finishStats()
+	metrics.parsesCompleted.Add(1)
 	return val, end, nil
 }
 
@@ -303,10 +311,12 @@ func (ps *Parser) finishStats() {
 	ps.stats.MemoBytes = ps.stats.ChunksAllocated*chunkSize*memoEntrySize +
 		ps.stats.ChunkRows*ps.chunkCount*8 +
 		len(ps.memoMap)*mapEntryBytes
+	metrics.observePeakMemo(int64(ps.stats.MemoBytes))
 }
 
 func (ps *Parser) syntaxError() error {
 	ps.finishStats()
+	metrics.parsesFailed.Add(1)
 	pos := ps.failPos
 	if pos < 0 {
 		pos = 0
@@ -339,13 +349,6 @@ func (ps *Parser) fail(pos int, what string) {
 	ps.failExpected = append(ps.failExpected, what)
 }
 
-// traceLine emits one indented trace line.
-func (ps *Parser) traceLine(format string, args ...any) {
-	fmt.Fprintf(ps.trace, "%s", strings.Repeat("  ", ps.traceDepth))
-	fmt.Fprintf(ps.trace, format, args...)
-	fmt.Fprintln(ps.trace)
-}
-
 // parseProd invokes production prod at pos, consulting the memo table.
 func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 	info := &ps.prog.prods[prod]
@@ -354,6 +357,9 @@ func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 	if ps.prog.opts.Dispatch && info.firstOK {
 		if pos >= len(ps.in) || !info.first.Has(ps.in[pos]) {
 			ps.stats.DispatchSkips++
+			if ps.hook != nil {
+				ps.hook.OnFail(prod, pos)
+			}
 			ps.fail(pos, info.display)
 			return 0, nil, false
 		}
@@ -363,12 +369,8 @@ func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 	if col >= 0 {
 		if e, ok := ps.memoLoad(pos, col); ok {
 			ps.stats.MemoHits++
-			if ps.trace != nil {
-				outcome := "memo-fail"
-				if e.state == memoOK {
-					outcome = fmt.Sprintf("memo-hit -> %d", e.end)
-				}
-				ps.traceLine("%s @%d: %s", info.display, pos, outcome)
+			if ps.hook != nil {
+				ps.hook.OnMemoHit(prod, pos, int(e.end), e.state == memoOK)
 			}
 			if e.state == memoFail {
 				ps.fail(pos, info.display)
@@ -380,18 +382,12 @@ func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 	}
 
 	ps.stats.Calls++
-	if ps.trace != nil {
-		ps.traceLine("%s @%d {", info.display, pos)
-		ps.traceDepth++
+	if ps.hook != nil {
+		ps.hook.OnEnter(prod, pos)
 	}
 	end, val, ok := ps.eval(info.body, pos)
-	if ps.trace != nil {
-		ps.traceDepth--
-		if ok {
-			ps.traceLine("} %s @%d -> %d", info.display, pos, end)
-		} else {
-			ps.traceLine("} %s @%d -> fail", info.display, pos)
-		}
+	if ps.hook != nil {
+		ps.hook.OnExit(prod, pos, end, ok)
 	}
 	if ok {
 		switch info.kind {

@@ -1,0 +1,113 @@
+package vm
+
+import (
+	"encoding/json"
+	"sync/atomic"
+)
+
+// This file is the process-wide engine metrics registry: atomic
+// counters every Program in the process feeds, cheap enough to update
+// unconditionally (a handful of uncontended atomic adds per parse, none
+// per production), exported as a JSON snapshot for scraping. Where the
+// per-parse Stats answer "what did this parse do", the registry answers
+// "what has this process's engine been doing": how hard the session
+// pool is working, how much memo storage the arenas have carved and how
+// much of it recycling is saving, and the high-water memo footprint.
+//
+// Byte counters use the same footprint model as Stats.MemoBytes
+// (memoEntrySize et al.), so registry numbers and per-parse numbers are
+// directly comparable.
+
+// metricsRegistry holds the process-wide counters.
+type metricsRegistry struct {
+	parsesStarted   atomic.Int64
+	parsesCompleted atomic.Int64
+	parsesFailed    atomic.Int64
+	poolGets        atomic.Int64
+	poolNews        atomic.Int64
+	sessionResets   atomic.Int64
+	arenaCarved     atomic.Int64
+	arenaRecycled   atomic.Int64
+	peakMemoBytes   atomic.Int64
+}
+
+// metrics is the registry instance. Process-wide by design: a fleet of
+// Programs shares one scrape target, like runtime.MemStats.
+var metrics metricsRegistry
+
+// observePeakMemo raises the peak-memo high-water mark to b (CAS loop;
+// lock-free and monotone under concurrent parses).
+func (m *metricsRegistry) observePeakMemo(b int64) {
+	for {
+		cur := m.peakMemoBytes.Load()
+		if b <= cur || m.peakMemoBytes.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}
+
+// MetricsSnapshot is a point-in-time copy of the engine metrics
+// registry. Counters are monotone since process start (or the last
+// ResetMetrics); deltas between scrapes are rates.
+type MetricsSnapshot struct {
+	// ParsesStarted counts begun parses; every one lands in
+	// ParsesCompleted or ParsesFailed (failed = syntax error; the input
+	// did not match).
+	ParsesStarted   int64 `json:"parses_started"`
+	ParsesCompleted int64 `json:"parses_completed"`
+	ParsesFailed    int64 `json:"parses_failed"`
+	// PoolGets counts parser checkouts from the Program.Parse pool;
+	// PoolNews counts the misses that built a fresh parser. A high
+	// news/gets ratio means the pool is being drained (GC pressure or
+	// bursty concurrency).
+	PoolGets int64 `json:"pool_gets"`
+	PoolNews int64 `json:"pool_news"`
+	// SessionResets counts warm rewinds: a parser (pooled or explicit
+	// session) that had parsed before beginning another input.
+	// ParsesStarted - SessionResets is the number of cold first parses.
+	SessionResets int64 `json:"session_resets"`
+	// ArenaBytesCarved counts memo-arena slab bytes handed to the
+	// allocator; ArenaBytesRecycled counts carved bytes made reusable
+	// again by session resets — the allocation traffic the arenas saved.
+	ArenaBytesCarved   int64 `json:"arena_bytes_carved"`
+	ArenaBytesRecycled int64 `json:"arena_bytes_recycled"`
+	// PeakMemoBytes is the largest single-parse memo footprint observed
+	// (Stats.MemoBytes model).
+	PeakMemoBytes int64 `json:"peak_memo_bytes"`
+}
+
+// Metrics returns a snapshot of the process-wide engine metrics.
+func Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		ParsesStarted:      metrics.parsesStarted.Load(),
+		ParsesCompleted:    metrics.parsesCompleted.Load(),
+		ParsesFailed:       metrics.parsesFailed.Load(),
+		PoolGets:           metrics.poolGets.Load(),
+		PoolNews:           metrics.poolNews.Load(),
+		SessionResets:      metrics.sessionResets.Load(),
+		ArenaBytesCarved:   metrics.arenaCarved.Load(),
+		ArenaBytesRecycled: metrics.arenaRecycled.Load(),
+		PeakMemoBytes:      metrics.peakMemoBytes.Load(),
+	}
+}
+
+// JSON encodes the snapshot for scraping.
+func (s MetricsSnapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ResetMetrics zeroes the registry — for tests and for scrapers that
+// prefer windowed counters over monotone ones. Not atomic as a whole:
+// counters racing with in-flight parses may land on either side of the
+// reset.
+func ResetMetrics() {
+	metrics.parsesStarted.Store(0)
+	metrics.parsesCompleted.Store(0)
+	metrics.parsesFailed.Store(0)
+	metrics.poolGets.Store(0)
+	metrics.poolNews.Store(0)
+	metrics.sessionResets.Store(0)
+	metrics.arenaCarved.Store(0)
+	metrics.arenaRecycled.Store(0)
+	metrics.peakMemoBytes.Store(0)
+}

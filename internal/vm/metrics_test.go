@@ -1,0 +1,120 @@
+package vm
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"modpeg/internal/text"
+)
+
+// TestMetricsRegistryCounts drives the pooled and session parse paths
+// and checks the process-wide registry's bookkeeping identities.
+func TestMetricsRegistryCounts(t *testing.T) {
+	prog := build(t, calcGrammar, Optimized())
+	ResetMetrics()
+
+	ok := text.NewSource("in", "1+2*(3-4)")
+	bad := text.NewSource("in", "1+*")
+	for i := 0; i < 3; i++ {
+		if _, _, err := prog.Parse(ok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := prog.Parse(bad); err == nil {
+		t.Fatal("expected syntax error")
+	}
+	s := prog.NewSession()
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.Parse(ok); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := Metrics()
+	if m.ParsesStarted != 6 {
+		t.Errorf("ParsesStarted = %d, want 6", m.ParsesStarted)
+	}
+	if m.ParsesCompleted != 5 || m.ParsesFailed != 1 {
+		t.Errorf("completed/failed = %d/%d, want 5/1", m.ParsesCompleted, m.ParsesFailed)
+	}
+	if m.ParsesStarted != m.ParsesCompleted+m.ParsesFailed {
+		t.Errorf("started %d != completed %d + failed %d",
+			m.ParsesStarted, m.ParsesCompleted, m.ParsesFailed)
+	}
+	// Four pooled parses: four checkouts, at least one of which built a
+	// fresh parser.
+	if m.PoolGets != 4 {
+		t.Errorf("PoolGets = %d, want 4", m.PoolGets)
+	}
+	if m.PoolNews < 1 || m.PoolNews > m.PoolGets {
+		t.Errorf("PoolNews = %d, want in [1, %d]", m.PoolNews, m.PoolGets)
+	}
+	// Warm rewinds: the session's second parse always resets; pooled
+	// parses after the first reset whenever the pool reuses a parser.
+	if m.SessionResets < 1 || m.SessionResets > m.ParsesStarted-1 {
+		t.Errorf("SessionResets = %d, want in [1, %d]", m.SessionResets, m.ParsesStarted-1)
+	}
+	// The chunked memo engine carved arena slabs, recycled them on
+	// resets, and observed a nonzero peak footprint.
+	if m.ArenaBytesCarved <= 0 {
+		t.Errorf("ArenaBytesCarved = %d, want > 0", m.ArenaBytesCarved)
+	}
+	if m.ArenaBytesRecycled <= 0 {
+		t.Errorf("ArenaBytesRecycled = %d, want > 0", m.ArenaBytesRecycled)
+	}
+	if m.PeakMemoBytes <= 0 {
+		t.Errorf("PeakMemoBytes = %d, want > 0", m.PeakMemoBytes)
+	}
+
+	ResetMetrics()
+	if z := Metrics(); z != (MetricsSnapshot{}) {
+		t.Errorf("ResetMetrics left %+v", z)
+	}
+}
+
+// TestMetricsPeakMonotone checks the high-water mark: a small parse
+// after a large one must not lower the peak.
+func TestMetricsPeakMonotone(t *testing.T) {
+	prog := build(t, calcGrammar, Optimized())
+	ResetMetrics()
+	big := strings.Repeat("(1+2)*3-", 300) + "4"
+	if _, _, err := prog.Parse(text.NewSource("in", big)); err != nil {
+		t.Fatal(err)
+	}
+	peak := Metrics().PeakMemoBytes
+	if peak <= 0 {
+		t.Fatalf("peak = %d after large parse", peak)
+	}
+	if _, _, err := prog.Parse(text.NewSource("in", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := Metrics().PeakMemoBytes; got != peak {
+		t.Errorf("peak moved from %d to %d after a smaller parse", peak, got)
+	}
+	ResetMetrics()
+}
+
+// TestMetricsSnapshotJSON pins the scrape format's key names.
+func TestMetricsSnapshotJSON(t *testing.T) {
+	data, err := MetricsSnapshot{ParsesStarted: 7, PeakMemoBytes: 9}.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"parses_started", "parses_completed", "parses_failed",
+		"pool_gets", "pool_news", "session_resets",
+		"arena_bytes_carved", "arena_bytes_recycled", "peak_memo_bytes",
+	} {
+		if _, present := m[key]; !present {
+			t.Errorf("snapshot JSON missing %q", key)
+		}
+	}
+	if m["parses_started"] != 7 || m["peak_memo_bytes"] != 9 {
+		t.Errorf("snapshot values drifted: %v", m)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package vm
+
+// raceEnabled reports whether the race detector is compiled in; some
+// allocation assertions are invalid under it (sync.Pool caching is
+// deliberately randomized in race mode).
+const raceEnabled = true

@@ -105,6 +105,37 @@ func EngineBacktracking() EngineOptions { return vm.Backtracking() }
 // ParseStats reports per-parse engine activity.
 type ParseStats = vm.Stats
 
+// Profile is a per-production execution profile: calls, memo behaviour,
+// dispatch skips, self/cumulative time, farthest position, backtracked
+// bytes. Profiles aggregate with Add and render with Report or JSON.
+type Profile = vm.Profile
+
+// ProdProfile is one production's slice of a Profile.
+type ProdProfile = vm.ProdProfile
+
+// Profiler is the profiling ParseHook: install one on any number of
+// parses (Parser.NewProfiler, then ParseWithHook) and snapshot the
+// aggregate with its Profile method.
+type Profiler = vm.Profiler
+
+// ParseHook receives parse events (production entry/exit, memo hits,
+// dispatch skips) synchronously from the engine; see vm.Hook for the
+// contract. The built-in trace and profiler are hook implementations.
+type ParseHook = vm.Hook
+
+// EngineMetrics is a point-in-time snapshot of the process-wide engine
+// metrics registry: parses started/completed/failed, session-pool and
+// arena activity, and the peak memo footprint. Encode it with JSON for
+// scraping.
+type EngineMetrics = vm.MetricsSnapshot
+
+// Metrics snapshots the process-wide engine metrics registry.
+func Metrics() EngineMetrics { return vm.Metrics() }
+
+// ResetMetrics zeroes the process-wide engine metrics registry (for
+// tests and windowed scraping).
+func ResetMetrics() { vm.ResetMetrics() }
+
 // GrammarStats summarizes a composed grammar.
 type GrammarStats = peg.GrammarStats
 
@@ -241,6 +272,19 @@ func (s *Session) ParseWithStats(name, input string) (Value, ParseStats, error) 
 	return s.s.Parse(text.NewSource(name, input))
 }
 
+// ParseWithProfile is Parse plus the engine statistics and a
+// per-production profile of the run. To aggregate across a session's
+// parses instead, install one Parser.NewProfiler via ParseWithHook.
+func (s *Session) ParseWithProfile(name, input string) (Value, ParseStats, *Profile, error) {
+	return s.s.ParseWithProfile(text.NewSource(name, input))
+}
+
+// ParseWithHook is Parse with h receiving the run's parse events. The
+// same hook may serve consecutive parses to aggregate across them.
+func (s *Session) ParseWithHook(name, input string, h ParseHook) (Value, ParseStats, error) {
+	return s.s.ParseWithHook(text.NewSource(name, input), h)
+}
+
 // BatchResult is the outcome of one input of a ParseBatch call.
 type BatchResult = vm.Result
 
@@ -264,6 +308,33 @@ func BatchStats(results []BatchResult) ParseStats { return vm.TotalStats(results
 // ParseWithStats is Parse plus the engine statistics of the run.
 func (p *Parser) ParseWithStats(name, input string) (Value, ParseStats, error) {
 	return p.prog.Parse(text.NewSource(name, input))
+}
+
+// ParseWithProfile is Parse plus the engine statistics and a
+// per-production profile of the run. Profiling reads the clock on every
+// production entry and exit; use Parse when the numbers aren't wanted.
+func (p *Parser) ParseWithProfile(name, input string) (Value, ParseStats, *Profile, error) {
+	return p.prog.ParseWithProfile(text.NewSource(name, input))
+}
+
+// ParseWithHook is Parse with h receiving the run's parse events.
+func (p *Parser) ParseWithHook(name, input string, h ParseHook) (Value, ParseStats, error) {
+	return p.prog.ParseWithHook(text.NewSource(name, input), h)
+}
+
+// NewProfiler returns a reusable profiling hook for this parser's
+// productions: install it with ParseWithHook on any number of parses
+// (one goroutine at a time) and snapshot the aggregate with Profile.
+func (p *Parser) NewProfiler() *Profiler { return p.prog.NewProfiler() }
+
+// ParseBatchProfiled is ParseBatch plus one profile aggregated across
+// all workers' parses.
+func (p *Parser) ParseBatchProfiled(name string, inputs []string, workers int) ([]BatchResult, *Profile) {
+	srcs := make([]*text.Source, len(inputs))
+	for i, in := range inputs {
+		srcs[i] = text.NewSource(fmt.Sprintf("%s[%d]", name, i), in)
+	}
+	return p.prog.ParseAllProfiled(srcs, workers)
 }
 
 // ParseWithTrace is Parse with a human-readable production-call trace

@@ -1,0 +1,122 @@
+package modpeg
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseWithProfileFacade checks the public profiling entry point on
+// a bundled grammar: the profile's call total must equal the engine's
+// own Stats.Calls, and the parse result must not drift from Parse.
+func TestParseWithProfileFacade(t *testing.T) {
+	p, err := New("java.core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := "class A { int f(int x) { return x * (x + 1); } }"
+	v, stats, prof, err := p.ParseWithProfile("in", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Parse("in", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(v, want) {
+		t.Fatalf("profiled value drift: %s vs %s", FormatValue(v), FormatValue(want))
+	}
+	if got := prof.TotalCalls(); got != int64(stats.Calls) {
+		t.Errorf("profile calls %d, stats calls %d", got, stats.Calls)
+	}
+	report := prof.Report(10)
+	if !strings.Contains(report, "production") || !strings.Contains(report, "total") {
+		t.Fatalf("malformed report:\n%s", report)
+	}
+	// Session facade agrees.
+	_, sStats, sProf, err := p.NewSession().ParseWithProfile("in", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sProf.TotalCalls() != int64(sStats.Calls) || sStats != stats {
+		t.Errorf("session profile drift: %d calls vs stats %v", sProf.TotalCalls(), sStats)
+	}
+}
+
+// TestProfilerHookFacade aggregates one Profiler across parses driven
+// through the public hook seam.
+func TestProfilerHookFacade(t *testing.T) {
+	p, err := New("calc.full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := p.NewProfiler()
+	var want int64
+	for _, in := range []string{"1+2**3", "4*5", "(1+2)*(3-4)"} {
+		_, st, err := p.ParseWithHook("in", in, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += int64(st.Calls)
+	}
+	if got := pr.Profile().TotalCalls(); got != want {
+		t.Errorf("aggregated calls %d, want %d", got, want)
+	}
+}
+
+// TestParseBatchProfiledFacade cross-checks the batch profile against
+// the aggregated batch stats.
+func TestParseBatchProfiledFacade(t *testing.T) {
+	p, err := New("json.value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs []string
+	for i := 0; i < 20; i++ {
+		inputs = append(inputs, fmt.Sprintf(`{"k%d": [%d, true, "v"]}`, i, i))
+	}
+	inputs = append(inputs, "not json")
+	results, prof := p.ParseBatchProfiled("doc", inputs, 4)
+	if len(results) != len(inputs) {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[len(results)-1].Err == nil {
+		t.Fatal("invalid input must fail in place")
+	}
+	if got, want := prof.TotalCalls(), int64(BatchStats(results).Calls); got != want {
+		t.Errorf("batch profile calls %d, stats calls %d", got, want)
+	}
+}
+
+// TestMetricsFacade exercises the registry snapshot through the public
+// API.
+func TestMetricsFacade(t *testing.T) {
+	p, err := New("calc.core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetMetrics()
+	if _, err := p.Parse("in", "1+2*3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Parse("in", "1+"); err == nil {
+		t.Fatal("expected syntax error")
+	}
+	m := Metrics()
+	if m.ParsesStarted != 2 || m.ParsesCompleted != 1 || m.ParsesFailed != 1 {
+		t.Errorf("metrics = %+v, want 2 started / 1 completed / 1 failed", m)
+	}
+	data, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]int64
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["parses_started"] != 2 {
+		t.Errorf("JSON parses_started = %d", decoded["parses_started"])
+	}
+	ResetMetrics()
+}

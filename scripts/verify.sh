@@ -1,10 +1,18 @@
 #!/bin/sh
-# verify.sh — the repo's full correctness gate: build everything, vet
-# everything, and run the whole test suite under the race detector (the
-# session pool and ParseAll make concurrency a first-class code path).
+# verify.sh — the repo's full correctness gate: formatting drift, build,
+# vet, and the whole test suite under the race detector (the session
+# pool, ParseAll, and the profiled batch path make concurrency a
+# first-class code path).
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+fmt_drift=$(gofmt -l .)
+if [ -n "$fmt_drift" ]; then
+	echo "gofmt drift in:" >&2
+	echo "$fmt_drift" >&2
+	exit 1
+fi
 echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
