@@ -6,14 +6,20 @@ build:
 test:
 	go test ./...
 
-# Full gate: gofmt drift + build + vet + race-enabled test suite.
+# Fast gate: gofmt drift + build + vet + test suite. CI runs the race
+# detector as a separate job; reproduce it with `go test -race ./...`.
 verify:
 	sh scripts/verify.sh
 
-# Session-residency + observability-overhead benchmarks; writes
-# BENCH_2.json.
+# Session-residency, observability-overhead, and resource-governance
+# benchmarks; writes BENCH_3.json.
 bench:
 	sh scripts/bench.sh
+
+# Gate on the allocation canary in a bench JSON (default BENCH_3.json):
+# the void-grammar steady state must stay at exactly 0 allocs/op.
+bench-check:
+	sh scripts/bench_check.sh
 
 # Per-production profile of the bundled Java grammar on a generated
 # 40 KB workload: hot productions, memo behaviour, engine metrics.

@@ -9,9 +9,11 @@
 package modpeg
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"modpeg/internal/codegen/gencalc"
 	"modpeg/internal/codegen/genjson"
@@ -434,6 +436,103 @@ func BenchmarkTable5Batch(b *testing.B) {
 				}
 			}
 		}
+	})
+}
+
+// voidBenchGrammar is an all-void calculator: it exercises memoization,
+// choices, and repetition while producing no semantic values, so a warm
+// session parse is pure parser machinery. The steady state must be
+// exactly 0 allocs/op — scripts/bench_check.sh gates CI on this row's
+// allocs_per_op staying zero.
+const voidBenchGrammar = `module voidcalc;
+option root = S;
+public void S = Expr !. ;
+void Expr = Term (("+" / "-") Term)* ;
+void Term = Factor (("*" / "/") Factor)* ;
+void Factor = Number / "(" Expr ")" ;
+void Number = [0-9]+ ;
+`
+
+// BenchmarkTable5VoidSteadyState is the allocation canary: a warm
+// session parsing a void grammar. Machinery allocations have nowhere to
+// hide behind semantic values here, so allocs/op must be exactly 0 —
+// any regression in the arena, session, or governance layers shows up
+// as a nonzero column in the bench JSON and fails the CI gate.
+func BenchmarkTable5VoidSteadyState(b *testing.B) {
+	g, err := core.Compose("voidcalc", core.MapResolver{"voidcalc": voidBenchGrammar})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tg, _, err := transform.Apply(g, transform.Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := vm.Compile(tg, vm.Optimized())
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := "(1+2)*3-4/5+"
+	for len(input) < 8*1024 {
+		input += input
+	}
+	input += "6"
+	src := text.NewSource("bench", input)
+	s := prog.NewSession()
+	if _, _, err := s.Parse(src); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Table 7
+//
+// Resource-governance overhead: the java.core workload parsed
+// ungoverned, governed with zero limits (the arming cost alone), and
+// governed with every budget armed but generous (the polling cost on
+// the chunk-allocation and backtrack edges). The acceptance bound is
+// the zero-limits row matching the ungoverned row within noise.
+
+func BenchmarkTable7Governance(b *testing.B) {
+	prog := mustProgram(b, grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	input := workload.JavaProgram(workload.Config{Seed: 7, Size: 40 * 1024})
+	src := text.NewSource("bench", input)
+	ctx := context.Background()
+	s := prog.NewSession()
+	if _, _, err := s.Parse(src); err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, lim vm.Limits, governed bool) {
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if governed {
+				_, _, err = s.ParseContext(ctx, src, lim)
+			} else {
+				_, _, err = s.Parse(src)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("ungoverned", func(b *testing.B) { run(b, vm.Limits{}, false) })
+	b.Run("zero-limits", func(b *testing.B) { run(b, vm.Limits{}, true) })
+	b.Run("all-budgets", func(b *testing.B) {
+		run(b, vm.Limits{
+			MaxInputBytes:    1 << 30,
+			MaxMemoBytes:     1 << 30,
+			MaxCallDepth:     1 << 20,
+			MaxParseDuration: time.Hour,
+		}, true)
 	})
 }
 

@@ -8,11 +8,12 @@
 //	modpeg stats   [-d dir] <top-module>
 //	modpeg print   [-d dir] [-optimized] <top-module>
 //	modpeg check   [-d dir] <top-module>
-//	modpeg parse   [-d dir] [-indent] [-stats] <top-module> [file]
+//	modpeg parse   [-d dir] [-indent] [-stats] [-timeout d] [-max-memo n] <top-module> [file]
 //	modpeg generate [-d dir] [-pkg name] [-o file] <top-module>
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -85,14 +86,16 @@ commands:
   print    [-d dir] [-optimized] <top>
                                    print the composed grammar
   check    [-d dir] <top>          compose and run the static checks
-  parse    [-d dir] [-indent] [-stats] [-profile] <top> [file]
-                                   parse a file (or stdin) and print the AST
+  parse    [-d dir] [-indent] [-stats] [-profile] [-timeout d] [-max-memo n]
+           [-max-depth n] [-strict] <top> [file]
+                                   parse a file (or stdin) and print the AST,
+                                   optionally under resource limits
   profile  [-d dir] [-n reps] [-top n] [-json] [-metrics] [-gen kb] <top> [file]
                                    profile parses of a file (or stdin, or a
                                    generated corpus) per production
   generate [-d dir] [-pkg p] [-o file] <top>
                                    emit a standalone Go parser
-  experiment [-kb n] [-mintime d] <table1|table2|table3|table4|table5|fig1|fig2|fig3|hotprods|all>
+  experiment [-kb n] [-mintime d] <table1..table5|table7|limits|fig1..fig3|hotprods|all>
                                    run the paper-reproduction experiments
   fmt      [-w] [file...]          reformat .mpeg module files (stdin without args)
 `)
@@ -226,9 +229,13 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 	withStats := fs.Bool("stats", false, "print engine statistics")
 	withTrace := fs.Bool("trace", false, "stream a production-call trace before the AST")
 	withProfile := fs.Bool("profile", false, "print the top-10 hot productions after the AST")
+	timeout := fs.Duration("timeout", 0, "abort the parse after this wall-clock duration (0 = unlimited)")
+	maxMemo := fs.Int("max-memo", 0, "memo-table budget in bytes; the engine sheds memoization past it (0 = unlimited)")
+	maxDepth := fs.Int("max-depth", 0, "production-call depth limit (0 = unlimited)")
+	strict := fs.Bool("strict", false, "fail when the memo budget is hit instead of shedding memoization")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
-		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] [-profile] <top-module> [file]")
+		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] [-profile] [-timeout d] [-max-memo n] [-max-depth n] [-strict] <top-module> [file]")
 	}
 	p, err := modpeg.New(fs.Arg(0), moduleOpts(*dir)...)
 	if err != nil {
@@ -247,6 +254,14 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 		return err
 	}
 
+	lim := modpeg.Limits{
+		MaxParseDuration: *timeout,
+		MaxMemoBytes:     *maxMemo,
+		MaxCallDepth:     *maxDepth,
+		Strict:           *strict,
+	}
+	governed := lim != (modpeg.Limits{})
+
 	var v modpeg.Value
 	var stats modpeg.ParseStats
 	var prof *modpeg.Profile
@@ -255,6 +270,8 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 		v, err = p.ParseWithTrace(name, string(input), w)
 	case *withProfile:
 		v, stats, prof, err = p.ParseWithProfile(name, string(input))
+	case governed:
+		v, stats, err = p.NewSession().ParseContext(context.Background(), name, string(input), lim)
 	default:
 		v, stats, err = p.ParseWithStats(name, string(input))
 	}
@@ -458,7 +475,7 @@ func cmdExperiment(args []string, w io.Writer) error {
 	minTime := fs.Duration("mintime", 300*time.Millisecond, "measurement window per configuration")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|fig1..fig3|hotprods|all>")
+		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|table7|limits|fig1..fig3|hotprods|all>")
 	}
 	opts := experiments.Options{InputKB: *kb, MinTime: *minTime}
 	if fs.Arg(0) == "all" {

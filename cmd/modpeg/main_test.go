@@ -107,6 +107,32 @@ func TestParseStdinAndFile(t *testing.T) {
 	}
 }
 
+func TestParseWithLimits(t *testing.T) {
+	// Generous limits: the parse completes and reports stats.
+	out, errb, code := runCmd(t, "1+2*3", "parse", "-stats",
+		"-timeout", "10s", "-max-memo", "1048576", "-max-depth", "10000", "calc.core")
+	if code != 0 || !strings.Contains(out, "(Add") || !strings.Contains(out, "stats:") {
+		t.Fatalf("governed parse: code=%d out=%q err=%q", code, out, errb)
+	}
+	// A depth limit a nested input blows: typed limit failure, exit 1.
+	deep := strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000)
+	_, errb, code = runCmd(t, deep, "parse", "-max-depth", "64", "calc.core")
+	if code != 1 || !strings.Contains(errb, "call depth") {
+		t.Fatalf("depth limit: code=%d err=%q", code, errb)
+	}
+	// Strict memo budget: hard failure instead of shedding.
+	big := strings.Repeat("1+", 4000) + "1"
+	_, errb, code = runCmd(t, big, "parse", "-max-memo", "512", "-strict", "calc.core")
+	if code != 1 || !strings.Contains(errb, "memo footprint") {
+		t.Fatalf("strict memo: code=%d err=%q", code, errb)
+	}
+	// The same budget without -strict degrades and still prints the AST.
+	out, errb, code = runCmd(t, big, "parse", "-max-memo", "512", "-stats", "calc.core")
+	if code != 0 || !strings.Contains(out, "(Add") || !strings.Contains(out, "sheds=1") {
+		t.Fatalf("shedding parse: code=%d out=%q err=%q", code, out, errb)
+	}
+}
+
 func TestParseWithModuleDir(t *testing.T) {
 	dir := t.TempDir()
 	mod := filepath.Join(dir, "user.lang.mpeg")
@@ -157,6 +183,11 @@ func TestExperimentCommand(t *testing.T) {
 	out, _, code = runCmd(t, "", "experiment", "-kb", "4", "-mintime", "1ms", "table5")
 	if code != 0 || !strings.Contains(out, "engine residency") || !strings.Contains(out, "reused session") {
 		t.Fatalf("table5: code=%d out=%q", code, out)
+	}
+	out, _, code = runCmd(t, "", "experiment", "-kb", "4", "-mintime", "1ms", "limits")
+	if code != 0 || !strings.Contains(out, "resource governance") ||
+		!strings.Contains(out, "limit error (deadline)") {
+		t.Fatalf("limits: code=%d out=%q", code, out)
 	}
 }
 

@@ -11,6 +11,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -103,12 +105,12 @@ func (t Table) Render() string {
 func All(opts Options) []Table {
 	return []Table{
 		Table1(), Table2(opts), Table3(opts), Table4(opts), Table5(opts),
-		Fig1(opts), Fig2(opts), Fig3(opts), HotProds(opts),
+		Table7(opts), Fig1(opts), Fig2(opts), Fig3(opts), HotProds(opts),
 	}
 }
 
 // ByID runs one experiment by its identifier ("table1" ... "fig3",
-// "hotprods").
+// "hotprods", "limits").
 func ByID(id string, opts Options) (Table, error) {
 	switch strings.ToLower(id) {
 	case "table1":
@@ -121,6 +123,8 @@ func ByID(id string, opts Options) (Table, error) {
 		return Table4(opts), nil
 	case "table5":
 		return Table5(opts), nil
+	case "table7", "limits":
+		return Table7(opts), nil
 	case "fig1":
 		return Fig1(opts), nil
 	case "fig2":
@@ -514,6 +518,130 @@ func Table5(opts Options) Table {
 		})
 	}
 	return t
+}
+
+// ---------------------------------------------------------------- table7
+
+// Table7 measures the resource-governance layer (vm.Limits): what
+// governance costs when armed but idle, how fast a deadline stops an
+// adversarial parse, and what memo-budget shedding degrades throughput
+// to while keeping the footprint bounded. The serving-grade claims the
+// table backs: governed-but-unlimited parsing is free, hostile inputs
+// are stopped in bounded wall-clock time, and memory stays within the
+// configured budget with the parse still completing.
+func Table7(opts Options) Table {
+	opts = opts.normalized()
+	ctx := context.Background()
+	input := workload.JavaProgram(workload.Config{Seed: 33, Size: opts.InputKB * 1024})
+	src := text.NewSource("bench", input)
+	t := Table{
+		ID:     "Table 7",
+		Title:  fmt.Sprintf("resource governance (java.core %d KB; adversarial inputs)", len(input)/1024),
+		Header: []string{"scenario", "budget", "outcome", "MB/s", "detail"},
+	}
+	prog, err := buildProgram(grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+
+	// Baseline vs armed-but-unlimited governance.
+	_, full, err := prog.Parse(src)
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	dPlain := measure(opts.MinTime, func() { prog.Parse(src) })
+	t.Rows = append(t.Rows, []string{
+		"ungoverned baseline", "-", "completes", mbPerSec(len(input), dPlain),
+		fmt.Sprintf("memo %d KB", full.MemoBytes/1024),
+	})
+	dGov := measure(opts.MinTime, func() { prog.ParseContext(ctx, src, vm.Limits{}) })
+	t.Rows = append(t.Rows, []string{
+		"governed, zero limits", "-", "completes", mbPerSec(len(input), dGov),
+		fmt.Sprintf("overhead %.2fx", float64(dGov)/float64(dPlain)),
+	})
+
+	// Memo-budget shedding: quarter of the corpus's natural footprint.
+	budget := full.MemoBytes / 4
+	session := prog.NewSession()
+	_, shedStats, err := session.ParseContext(ctx, src, vm.Limits{MaxMemoBytes: budget})
+	if err != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf("shedding: %v", err))
+	} else {
+		dShed := measure(opts.MinTime, func() { session.ParseContext(ctx, src, vm.Limits{MaxMemoBytes: budget}) })
+		t.Rows = append(t.Rows, []string{
+			"memo budget (shedding)", fmt.Sprintf("%d KB", budget/1024),
+			"completes degraded", mbPerSec(len(input), dShed),
+			fmt.Sprintf("peak memo %d KB, sheds %d", shedStats.MemoBytes/1024, shedStats.MemoSheds),
+		})
+	}
+	if _, _, err := prog.ParseContext(ctx, src, vm.Limits{MaxMemoBytes: budget, Strict: true}); err != nil {
+		t.Rows = append(t.Rows, []string{
+			"memo budget (strict)", fmt.Sprintf("%d KB", budget/1024),
+			outcomeOf(err), "-", "-",
+		})
+	}
+
+	// Depth limit against deep nesting.
+	deep := text.NewSource("deep", workload.DeepExpression(20000))
+	calcProg, err := buildProgram(grammars.CalcFull, transform.Defaults(), vm.Optimized())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	if _, _, err := calcProg.ParseContext(ctx, deep, vm.Limits{MaxCallDepth: 256}); err != nil {
+		t.Rows = append(t.Rows, []string{
+			"call depth, 20000-deep parens", "256", outcomeOf(err), "-", "-",
+		})
+	}
+
+	// Deadline against exponential backtracking: report worst observed
+	// abort latency over repeated 1ms-deadline parses.
+	g, err := core.Compose("path", core.MapResolver{"path": workload.PathologicalGrammar})
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	tg, _, err := transform.Apply(g, transform.Baseline())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	pathProg, err := vm.Compile(tg, vm.Backtracking())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	advSrc := text.NewSource("adversarial", workload.Pathological(40))
+	var worst time.Duration
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		start := time.Now()
+		_, _, lastErr = pathProg.ParseContext(ctx, advSrc, vm.Limits{MaxParseDuration: time.Millisecond})
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	t.Rows = append(t.Rows, []string{
+		"1ms deadline, exponential backtracking", "1ms", outcomeOf(lastErr), "-",
+		fmt.Sprintf("worst abort latency %s over 10 runs", worst.Round(10*time.Microsecond)),
+	})
+	t.Notes = append(t.Notes,
+		"shedding keeps the parse running with the memo table frozen at the budget; strict converts the same event into an error")
+	return t
+}
+
+// outcomeOf renders an error for a Table7 outcome cell.
+func outcomeOf(err error) string {
+	var le *vm.LimitError
+	if errors.As(err, &le) {
+		return fmt.Sprintf("limit error (%s)", le.Kind)
+	}
+	if err != nil {
+		return err.Error()
+	}
+	return "completes"
 }
 
 // ------------------------------------------------------------- hotprods

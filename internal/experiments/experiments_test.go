@@ -169,13 +169,13 @@ func TestByIDAndAll(t *testing.T) {
 	if err != nil || tbl.ID != "Table 1" {
 		t.Fatalf("ByID: %v", err)
 	}
-	for _, id := range []string{"table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "hotprods"} {
+	for _, id := range []string{"table2", "table3", "table4", "table5", "table7", "limits", "fig1", "fig2", "fig3", "hotprods"} {
 		if _, err := ByID(id, Options{InputKB: 2, MinTime: time.Millisecond}); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 	}
-	// All with minimal settings must produce 9 tables.
-	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 9 {
+	// All with minimal settings must produce 10 tables.
+	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 10 {
 		t.Fatalf("All = %d tables", len(got))
 	}
 }
@@ -186,6 +186,33 @@ func fmtSscan(s string, v any) (int, error) {
 }
 
 func sscan(s string, v any) (int, error) { return fmt.Sscan(s, v) }
+
+func TestTable7Shapes(t *testing.T) {
+	tbl := Table7(fast())
+	if tbl.ID != "Table 7" || len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d: %v", len(tbl.Rows), tbl.Notes)
+	}
+	outcomes := map[string]string{}
+	for _, row := range tbl.Rows {
+		outcomes[row[0]] = row[2]
+	}
+	if outcomes["ungoverned baseline"] != "completes" ||
+		outcomes["governed, zero limits"] != "completes" {
+		t.Fatalf("governed/ungoverned rows: %v", outcomes)
+	}
+	if outcomes["memo budget (shedding)"] != "completes degraded" {
+		t.Fatalf("shedding row: %v", outcomes)
+	}
+	if outcomes["memo budget (strict)"] != "limit error (memo-bytes)" {
+		t.Fatalf("strict row: %v", outcomes)
+	}
+	if outcomes["call depth, 20000-deep parens"] != "limit error (call-depth)" {
+		t.Fatalf("depth row: %v", outcomes)
+	}
+	if outcomes["1ms deadline, exponential backtracking"] != "limit error (deadline)" {
+		t.Fatalf("deadline row: %v", outcomes)
+	}
+}
 
 func TestTable5Shapes(t *testing.T) {
 	tbl := Table5(fast())

@@ -1,0 +1,42 @@
+package syntax
+
+import (
+	"testing"
+
+	"modpeg/internal/peg"
+)
+
+// FuzzParseModule feeds arbitrary bytes to the module parser. The
+// contract under fuzzing: the parser never panics, and whenever it
+// accepts an input, the printed form re-parses to a structurally equal
+// module with the printer a fixpoint — the round-trip property
+// TestRandomModuleRoundTrip checks on generated modules, extended to
+// whatever the fuzzer digs up.
+func FuzzParseModule(f *testing.F) {
+	f.Add("module m;\npublic S = \"a\" ;\n")
+	f.Add("module m;\noption root = S;\nS = A / B ;\nA = [a-z]+ ;\nB = !\"x\" . ;\n")
+	f.Add("module p(x); import q; modify q.S += <tag> \"y\" ;")
+	f.Add("module m;\nvoid Sp = [ \\t\\n]* ;\nS = e:Sp $(\"a\"*) @Node ;")
+	f.Add("module m\nS = ") // truncated input
+	f.Add("")
+	f.Add("module \x00;\nS = [z-a] ;")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseString("fuzz.mpeg", src)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		printed := peg.FormatModule(m)
+		m2, err := ParseString("fuzz2.mpeg", printed)
+		if err != nil {
+			t.Fatalf("accepted module does not re-parse: %v\n--- input\n%s\n--- printed\n%s",
+				err, src, printed)
+		}
+		if !peg.EqualModule(m, m2) {
+			t.Fatalf("round-trip mismatch\n--- input\n%s\n--- printed\n%s\n--- reprinted\n%s",
+				src, printed, peg.FormatModule(m2))
+		}
+		if again := peg.FormatModule(m2); again != printed {
+			t.Fatalf("printer not a fixpoint\n--- first\n%s\n--- second\n%s", printed, again)
+		}
+	})
+}

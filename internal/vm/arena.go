@@ -72,6 +72,14 @@ func (a *chunkArena) reset() {
 	a.slab, a.used = 0, 0
 }
 
+// liveBytes reports the bytes of chunk storage carved since the last
+// reset — the arena-level counterpart of the Stats.MemoBytes model,
+// used by the governance layer (limits.go) to report actual carved
+// storage when the memo budget sheds memoization.
+func (a *chunkArena) liveBytes() int {
+	return (a.slab*chunkSlabLen + a.used) * chunkSize * memoEntrySize
+}
+
 // rowSlabLen is the number of chunk pointers per row-arena slab (~64 KB).
 const rowSlabLen = 8192
 
@@ -119,6 +127,19 @@ func (a *rowArena) reset() {
 	}
 	metrics.arenaRecycled.Add(int64(a.slab*rowSlabLen+a.used) * 8)
 	a.slab, a.used = 0, 0
+}
+
+// liveBytes reports the bytes of row-directory storage carved since the
+// last reset (see chunkArena.liveBytes).
+func (a *rowArena) liveBytes() int {
+	return (a.slab*rowSlabLen + a.used) * 8
+}
+
+// memoArenaBytes is the actual carved footprint of the memo arenas —
+// what the allocator is really holding for this parse, as opposed to
+// the modeled Stats.MemoBytes the budgets are denominated in.
+func (ps *Parser) memoArenaBytes() int {
+	return ps.chunkArena.liveBytes() + ps.rowArena.liveBytes()
 }
 
 // Value-arena slab sizes, in elements. Tokens and nodes dominate real

@@ -45,6 +45,23 @@ type Hook interface {
 	OnFail(prod, pos int)
 }
 
+// ShedHook is an optional extension of Hook for governed parses
+// (ParseContext): when the installed hook also implements ShedHook, the
+// engine reports the moment a memo-budget hit sheds memoization (see
+// Limits.MaxMemoBytes). pos is the input position at the shed;
+// arenaBytes is the carved memo-arena footprint at that point. The
+// event fires at most once per parse, synchronously like every hook
+// event.
+//
+// On a parse stopped by a limit or a contained panic, OnEnter events
+// may be left without their matching OnExit — stack-tracking hooks
+// should reset their state per parse rather than assume balance across
+// an aborted run.
+type ShedHook interface {
+	Hook
+	OnMemoShed(pos, arenaBytes int)
+}
+
 // ProductionName returns the fully qualified name of production prod
 // (as used in hook events and profiles), or "" when out of range.
 func (p *Program) ProductionName(prod int) string {

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -178,6 +179,19 @@ func TestDisabledInstrumentationZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("disabled instrumentation added %.1f allocs/op to session parse, want 0", allocs)
+	}
+	// The governed entry point with a plain background context and zero
+	// Limits must be indistinguishable: arming writes a handful of
+	// scalars and the edges never fire, so the nil-Limits ParseContext
+	// path keeps the same zero-allocation steady state.
+	ctx := context.Background()
+	allocs = testing.AllocsPerRun(20, func() {
+		if _, _, err := s.ParseContext(ctx, src, Limits{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("nil-Limits ParseContext added %.1f allocs/op to session parse, want 0", allocs)
 	}
 	// The pooled path carries the same guarantee once the pool is warm —
 	// except under the race detector, which deliberately randomizes

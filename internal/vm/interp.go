@@ -1,10 +1,12 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"modpeg/internal/ast"
 	"modpeg/internal/text"
@@ -28,14 +30,21 @@ type Stats struct {
 	ChunkRows int
 	// MemoBytes estimates the memo table's heap footprint in bytes.
 	MemoBytes int
+	// MemoSheds counts memo-budget hits that shed memoization (0 or 1
+	// per parse; see Limits.MaxMemoBytes).
+	MemoSheds int
 	// MaxPos is the rightmost input position reached.
 	MaxPos int
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("calls=%d hits=%d misses=%d stores=%d skips=%d chunks=%d chunkRows=%d memoBytes=%d maxPos=%d",
+	out := fmt.Sprintf("calls=%d hits=%d misses=%d stores=%d skips=%d chunks=%d chunkRows=%d memoBytes=%d maxPos=%d",
 		s.Calls, s.MemoHits, s.MemoMisses, s.MemoStores, s.DispatchSkips,
 		s.ChunksAllocated, s.ChunkRows, s.MemoBytes, s.MaxPos)
+	if s.MemoSheds > 0 {
+		out += fmt.Sprintf(" sheds=%d", s.MemoSheds)
+	}
+	return out
 }
 
 // Add accumulates o into s, summing the counters and taking the maximum
@@ -49,6 +58,7 @@ func (s *Stats) Add(o Stats) {
 	s.ChunksAllocated += o.ChunksAllocated
 	s.ChunkRows += o.ChunkRows
 	s.MemoBytes += o.MemoBytes
+	s.MemoSheds += o.MemoSheds
 	if o.MaxPos > s.MaxPos {
 		s.MaxPos = o.MaxPos
 	}
@@ -169,6 +179,22 @@ type Parser struct {
 	// nil check per event site when disabled.
 	hook Hook
 
+	// Resource governance (limits.go), armed by ParseContext and reset
+	// to the open defaults by begin. On the ungoverned path these cost
+	// one predictable comparison per governed edge and nothing on the
+	// per-terminal hot path.
+	ctx        context.Context // non-nil only when cancellation is possible
+	deadline   time.Time       // zero when no deadline applies
+	timeBudget time.Duration   // configured MaxParseDuration (diagnostics)
+	timed      bool            // poll the clock/context on governance edges
+	maxDepth   int             // call-depth budget (noLimit when unlimited)
+	memoBudget int             // memo-bytes budget (noLimit when unlimited)
+	strict     bool            // hard-fail instead of shedding memoization
+	depth      int             // current production-call nesting
+	memoUsed   int             // modeled memo bytes charged so far
+	shed       bool            // memoization shed after a budget hit
+	poll       int             // countdown to the next clock/context poll
+
 	// used marks a parser that has begun at least one parse, so begin
 	// can count warm rewinds (metrics.sessionResets) separately from
 	// cold first parses.
@@ -251,6 +277,7 @@ func (ps *Parser) begin(src *text.Source) {
 	ps.failExpected = ps.failExpected[:0]
 	ps.quiet = 0
 	ps.hook = nil
+	ps.disarm()
 	// Drop value references parked in the scratch stack's capacity.
 	scratch := ps.scratch[:cap(ps.scratch)]
 	clear(scratch)
@@ -279,7 +306,8 @@ func (ps *Parser) begin(src *text.Source) {
 	}
 }
 
-func (ps *Parser) run() (ast.Value, error) {
+func (ps *Parser) run() (val ast.Value, err error) {
+	defer ps.contain(&val, &err)
 	end, val, ok := ps.parseProd(ps.prog.root, 0)
 	if !ok {
 		return nil, ps.syntaxError()
@@ -296,7 +324,8 @@ func (ps *Parser) run() (ast.Value, error) {
 	return val, nil
 }
 
-func (ps *Parser) runPrefix() (ast.Value, int, error) {
+func (ps *Parser) runPrefix() (val ast.Value, end int, err error) {
+	defer ps.contain(&val, &err)
 	end, val, ok := ps.parseProd(ps.prog.root, 0)
 	if !ok {
 		return nil, 0, ps.syntaxError()
@@ -331,6 +360,15 @@ func (ps *Parser) syntaxError() error {
 
 // fail records a failure at pos expecting the given description.
 func (ps *Parser) fail(pos int, what string) {
+	// The backtrack edge: every failed literal, class, predicate, or
+	// production crosses this function, and adversarial exponential
+	// inputs spend nearly all their time failing matches — so a timed
+	// parse polls the clock and context here (see pollEdge). The poll
+	// runs before the quiet/farthest-position early returns: suppressed
+	// failures are still work.
+	if ps.timed {
+		ps.pollEdge(pos)
+	}
 	if ps.quiet > 0 || pos < ps.failPos {
 		return
 	}
@@ -382,10 +420,16 @@ func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 	}
 
 	ps.stats.Calls++
+	ps.depth++
+	if ps.depth > ps.maxDepth {
+		panic(&LimitError{Kind: LimitDepth, Limit: int64(ps.maxDepth),
+			Actual: int64(ps.depth), Pos: pos})
+	}
 	if ps.hook != nil {
 		ps.hook.OnEnter(prod, pos)
 	}
 	end, val, ok := ps.eval(info.body, pos)
+	ps.depth--
 	if ps.hook != nil {
 		ps.hook.OnExit(prod, pos, end, ok)
 	}
@@ -402,13 +446,14 @@ func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 		}
 	}
 
-	if col >= 0 {
+	if col >= 0 && !ps.shed {
 		e := memoEntry{state: memoFail}
 		if ok {
 			e = memoEntry{state: memoOK, end: int32(end), val: val}
 		}
-		ps.memoStore(pos, col, e)
-		ps.stats.MemoStores++
+		if ps.memoStore(pos, col, e) {
+			ps.stats.MemoStores++
+		}
 	}
 	if !ok {
 		ps.fail(pos, info.display)
@@ -437,24 +482,39 @@ func (ps *Parser) memoLoad(pos, col int) (memoEntry, bool) {
 	return e, ok
 }
 
-func (ps *Parser) memoStore(pos, col int, e memoEntry) {
+// memoStore records e for (pos, col) and reports whether it was stored.
+// The chunk-allocation edges — a new directory row or a new chunk, and
+// every map insert — are where the memo table grows, so they charge the
+// memo budget and carry the governance poll; a budget hit sheds
+// memoization and drops the entry.
+func (ps *Parser) memoStore(pos, col int, e memoEntry) bool {
 	if ps.chunks != nil {
 		row := ps.chunks[pos]
 		if row == nil {
+			if !ps.chargeMemo(ps.chunkCount*8, pos) {
+				return false
+			}
 			row = ps.rowArena.alloc(ps.chunkCount)
 			ps.chunks[pos] = row
 			ps.stats.ChunkRows++
 		}
 		chunk := row[col/chunkSize]
 		if chunk == nil {
+			if !ps.chargeMemo(chunkSize*memoEntrySize, pos) {
+				return false
+			}
 			chunk = ps.chunkArena.alloc()
 			row[col/chunkSize] = chunk
 			ps.stats.ChunksAllocated++
 		}
 		chunk[col%chunkSize] = e
-		return
+		return true
+	}
+	if !ps.chargeMemo(mapEntryBytes, pos) {
+		return false
 	}
 	ps.memoMap[int64(pos)*int64(ps.prog.memoCols)+int64(col)] = e
+	return true
 }
 
 // eval interprets a compiled node at pos, returning the end position, the

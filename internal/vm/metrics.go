@@ -29,6 +29,9 @@ type metricsRegistry struct {
 	arenaCarved     atomic.Int64
 	arenaRecycled   atomic.Int64
 	peakMemoBytes   atomic.Int64
+	limitStops      atomic.Int64
+	memoSheds       atomic.Int64
+	panicsContained atomic.Int64
 }
 
 // metrics is the registry instance. Process-wide by design: a fleet of
@@ -51,8 +54,8 @@ func (m *metricsRegistry) observePeakMemo(b int64) {
 // ResetMetrics); deltas between scrapes are rates.
 type MetricsSnapshot struct {
 	// ParsesStarted counts begun parses; every one lands in
-	// ParsesCompleted or ParsesFailed (failed = syntax error; the input
-	// did not match).
+	// ParsesCompleted, ParsesFailed (failed = syntax error; the input
+	// did not match), or LimitStops (stopped by a resource budget).
 	ParsesStarted   int64 `json:"parses_started"`
 	ParsesCompleted int64 `json:"parses_completed"`
 	ParsesFailed    int64 `json:"parses_failed"`
@@ -74,6 +77,17 @@ type MetricsSnapshot struct {
 	// PeakMemoBytes is the largest single-parse memo footprint observed
 	// (Stats.MemoBytes model).
 	PeakMemoBytes int64 `json:"peak_memo_bytes"`
+	// LimitStops counts parses stopped by a resource budget or a
+	// canceled context (see Limits); these parses land in neither
+	// ParsesCompleted nor ParsesFailed.
+	LimitStops int64 `json:"limit_stops"`
+	// MemoSheds counts memo-budget hits that degraded a parse into
+	// shed-memoization mode instead of stopping it.
+	MemoSheds int64 `json:"memo_sheds"`
+	// PanicsContained counts interpreter panics converted into
+	// *EngineError by the governance layer. Nonzero means an engine or
+	// hook bug; the counter exists so a fleet notices.
+	PanicsContained int64 `json:"panics_contained"`
 }
 
 // Metrics returns a snapshot of the process-wide engine metrics.
@@ -88,6 +102,9 @@ func Metrics() MetricsSnapshot {
 		ArenaBytesCarved:   metrics.arenaCarved.Load(),
 		ArenaBytesRecycled: metrics.arenaRecycled.Load(),
 		PeakMemoBytes:      metrics.peakMemoBytes.Load(),
+		LimitStops:         metrics.limitStops.Load(),
+		MemoSheds:          metrics.memoSheds.Load(),
+		PanicsContained:    metrics.panicsContained.Load(),
 	}
 }
 
@@ -110,4 +127,7 @@ func ResetMetrics() {
 	metrics.arenaCarved.Store(0)
 	metrics.arenaRecycled.Store(0)
 	metrics.peakMemoBytes.Store(0)
+	metrics.limitStops.Store(0)
+	metrics.memoSheds.Store(0)
+	metrics.panicsContained.Store(0)
 }

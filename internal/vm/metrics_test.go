@@ -109,6 +109,7 @@ func TestMetricsSnapshotJSON(t *testing.T) {
 		"parses_started", "parses_completed", "parses_failed",
 		"pool_gets", "pool_news", "session_resets",
 		"arena_bytes_carved", "arena_bytes_recycled", "peak_memo_bytes",
+		"limit_stops", "memo_sheds", "panics_contained",
 	} {
 		if _, present := m[key]; !present {
 			t.Errorf("snapshot JSON missing %q", key)

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,16 @@ func TotalStats(results []Result) Stats {
 // inputs share nothing but the read-only Program, and a steady stream of
 // batches reuses the same sessions.
 func (p *Program) ParseAll(srcs []*text.Source, workers int) []Result {
+	return p.ParseAllContext(context.Background(), srcs, workers, Limits{})
+}
+
+// ParseAllContext is ParseAll under a context and per-input resource
+// budgets (see Limits and Program.ParseContext). Cancellation drains
+// the worker pool promptly: inputs whose parse is in flight abort on
+// the next governance poll, and inputs not yet started are marked with
+// a *LimitError without being parsed at all. Every result slot is
+// filled either way — results[i].Err reports what happened to srcs[i].
+func (p *Program) ParseAllContext(ctx context.Context, srcs []*text.Source, workers int, lim Limits) []Result {
 	results := make([]Result, len(srcs))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -81,12 +92,22 @@ func (p *Program) ParseAll(srcs []*text.Source, workers int) []Result {
 	if workers > len(srcs) {
 		workers = len(srcs)
 	}
+	parseOne := func(ps *Parser, i int) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				// Drain: the batch was abandoned before this input started.
+				results[i] = Result{Err: ctxLimitError(err, lim.MaxParseDuration, 0)}
+				return
+			}
+		}
+		ps.begin(srcs[i])
+		val, err := ps.runContext(ctx, lim)
+		results[i] = Result{Value: val, Stats: ps.stats, Err: err}
+	}
 	if workers <= 1 {
 		ps := p.acquire()
-		for i, src := range srcs {
-			ps.begin(src)
-			val, err := ps.run()
-			results[i] = Result{Value: val, Stats: ps.stats, Err: err}
+		for i := range srcs {
+			parseOne(ps, i)
 		}
 		p.release(ps)
 		return results
@@ -104,9 +125,7 @@ func (p *Program) ParseAll(srcs []*text.Source, workers int) []Result {
 				if i >= len(srcs) {
 					return
 				}
-				ps.begin(srcs[i])
-				val, err := ps.run()
-				results[i] = Result{Value: val, Stats: ps.stats, Err: err}
+				parseOne(ps, i)
 			}
 		}()
 	}

@@ -1,0 +1,64 @@
+package workload
+
+import "strings"
+
+// This file is the adversarial corpus: inputs crafted to exhaust a
+// specific parser resource rather than to model a realistic program.
+// The governance layer (vm.Limits) is tested and benchmarked against
+// these — every generator here should make an *ungoverned* parse either
+// recurse deeply, backtrack exponentially, or chew through memory, and
+// a governed parse stop with the matching typed limit error.
+//
+// Like the benchmark generators, everything is deterministic: the same
+// call returns byte-identical input forever.
+
+// DeepExpression generates a parenthesis chain of the given depth for
+// the calculator grammars — pure nesting with no width, the classic
+// stack-depth attack. (NestedExpression adds a "+1" per level, which
+// makes the input 4x larger for the same depth; the adversarial variant
+// is as dense as the grammar allows.)
+func DeepExpression(depth int) string {
+	return strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+}
+
+// DeepJSONArray generates a depth-deep nested JSON array — the
+// stack-depth attack against the JSON grammar (the shape that felled
+// many real-world JSON parsers before they grew depth limits).
+func DeepJSONArray(depth int) string {
+	return strings.Repeat("[", depth) + "0" + strings.Repeat("]", depth)
+}
+
+// AdversarialInput is one named attack input with the top module it
+// targets.
+type AdversarialInput struct {
+	// Name identifies the attack in test output and experiment tables.
+	Name string
+	// Module is the bundled top module the input targets ("path" means
+	// PathologicalGrammar, which is not bundled).
+	Module string
+	// Attacks names the resource the input is built to exhaust:
+	// "depth", "time", or "memory".
+	Attacks string
+	// Input is the attack text.
+	Input string
+}
+
+// AdversarialCorpus returns the standard attack set the limits tests
+// and the Table 7 experiment run: deep nesting against the calculator
+// and JSON grammars, exponential backtracking against the pathological
+// grammar, and multi-megabyte flat inputs that inflate the memo table.
+// size scales the large inputs (bytes); depth scales the nested ones.
+func AdversarialCorpus(depth, size int) []AdversarialInput {
+	return []AdversarialInput{
+		{Name: "deep-parens", Module: "calc.full", Attacks: "depth",
+			Input: DeepExpression(depth)},
+		{Name: "deep-json-array", Module: "json.value", Attacks: "depth",
+			Input: DeepJSONArray(depth)},
+		{Name: "exp-backtrack", Module: "path", Attacks: "time",
+			Input: Pathological(40)},
+		{Name: "huge-expression", Module: "calc.full", Attacks: "memory",
+			Input: Expression(Config{Seed: 71, Size: size})},
+		{Name: "huge-json", Module: "json.value", Attacks: "memory",
+			Input: JSONDoc(Config{Seed: 72, Size: size})},
+	}
+}

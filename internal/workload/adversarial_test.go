@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAdversarialInputsParseUngoverned checks that the attack inputs
+// are *valid* inputs for the grammars they target: an attack that is a
+// syntax error would test error reporting, not resource exhaustion.
+// The exponential-backtracking input is excluded — completing it
+// ungoverned is the attack (2^40 production calls on the plain
+// backtracking engine); the governed limits tests cover it.
+func TestAdversarialInputsParseUngoverned(t *testing.T) {
+	// Modest depth/size so the ungoverned parses stay cheap; the limits
+	// tests crank these up.
+	for _, a := range AdversarialCorpus(200, 50_000) {
+		if a.Attacks == "time" {
+			continue
+		}
+		mustParse(t, progFor(t, a.Module), a.Input, a.Name)
+	}
+}
+
+func TestAdversarialGeneratorsAreDeterministic(t *testing.T) {
+	if DeepExpression(64) != DeepExpression(64) {
+		t.Fatal("DeepExpression not deterministic")
+	}
+	if DeepJSONArray(64) != DeepJSONArray(64) {
+		t.Fatal("DeepJSONArray not deterministic")
+	}
+	for i, a := range AdversarialCorpus(100, 10_000) {
+		b := AdversarialCorpus(100, 10_000)[i]
+		if a != b {
+			t.Fatalf("corpus entry %s not deterministic", a.Name)
+		}
+	}
+}
+
+// TestAdversarialShapes pins the structural properties each attack
+// relies on: pure nesting at exactly the requested depth, and large
+// inputs at roughly the requested size.
+func TestAdversarialShapes(t *testing.T) {
+	if got := DeepExpression(3); got != "(((1)))" {
+		t.Fatalf("DeepExpression(3) = %q", got)
+	}
+	if got := DeepJSONArray(2); got != "[[0]]" {
+		t.Fatalf("DeepJSONArray(2) = %q", got)
+	}
+	if n := strings.Count(DeepExpression(500), "("); n != 500 {
+		t.Fatalf("DeepExpression(500) has %d open parens", n)
+	}
+	corpus := AdversarialCorpus(500, 100_000)
+	names := map[string]bool{}
+	for _, a := range corpus {
+		names[a.Name] = true
+		if a.Attacks != "depth" && a.Attacks != "time" && a.Attacks != "memory" {
+			t.Errorf("%s: unknown attack class %q", a.Name, a.Attacks)
+		}
+		if a.Attacks == "memory" && len(a.Input) < 50_000 {
+			t.Errorf("%s: memory attack only %d bytes", a.Name, len(a.Input))
+		}
+	}
+	if len(names) != len(corpus) {
+		t.Errorf("corpus has duplicate names: %v", names)
+	}
+}

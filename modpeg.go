@@ -26,6 +26,7 @@
 package modpeg
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -136,6 +137,42 @@ func Metrics() EngineMetrics { return vm.Metrics() }
 // tests and windowed scraping).
 func ResetMetrics() { vm.ResetMetrics() }
 
+// Limits bounds one parse: input size, memo-table footprint, call
+// depth, and wall-clock time (see vm.Limits for the per-field
+// contract). The zero value is unlimited. When the memo budget is hit
+// the engine degrades gracefully — it sheds memoization and finishes
+// the parse in bounded space — unless Strict is set, which turns the
+// budget hit into a hard *LimitError.
+type Limits = vm.Limits
+
+// LimitError reports a parse stopped by a resource budget or a
+// canceled context: which budget, the configured limit, the observed
+// value, and the input position reached. It unwraps to
+// context.Canceled / context.DeadlineExceeded when a context stopped
+// the parse.
+type LimitError = vm.LimitError
+
+// LimitKind names the budget a governed parse exhausted.
+type LimitKind = vm.LimitKind
+
+// The budget kinds a *LimitError reports.
+const (
+	LimitInput    = vm.LimitInput
+	LimitMemo     = vm.LimitMemo
+	LimitDepth    = vm.LimitDepth
+	LimitTime     = vm.LimitTime
+	LimitCanceled = vm.LimitCanceled
+)
+
+// EngineError reports an interpreter panic contained by the governance
+// layer: governed parses convert engine (or hook) panics into this
+// error instead of unwinding into the caller.
+type EngineError = vm.EngineError
+
+// ShedParseHook is the optional ParseHook extension notified when a
+// governed parse sheds memoization on hitting its memo budget.
+type ShedParseHook = vm.ShedHook
+
 // GrammarStats summarizes a composed grammar.
 type GrammarStats = peg.GrammarStats
 
@@ -243,6 +280,17 @@ func (p *Parser) Parse(name, input string) (Value, error) {
 	return v, err
 }
 
+// ParseContext is Parse under a context and resource budgets: the
+// parse stops with a typed *LimitError when ctx is canceled, a deadline
+// (ctx's or lim.MaxParseDuration's, whichever is sooner) passes, or a
+// budget in lim is exhausted. Passing context.Background() and zero
+// Limits behaves exactly like Parse, including the pooled
+// zero-allocation steady state.
+func (p *Parser) ParseContext(ctx context.Context, name, input string, lim Limits) (Value, error) {
+	v, _, err := p.prog.ParseContext(ctx, text.NewSource(name, input), lim)
+	return v, err
+}
+
 // Session is an explicitly managed, reusable parse context: the memo
 // table's storage and the engine's scratch buffers survive from parse to
 // parse, so a session parsing many inputs in sequence performs zero
@@ -270,6 +318,14 @@ func (s *Session) Parse(name, input string) (Value, error) {
 // ParseWithStats is Parse plus the engine statistics of the run.
 func (s *Session) ParseWithStats(name, input string) (Value, ParseStats, error) {
 	return s.s.Parse(text.NewSource(name, input))
+}
+
+// ParseContext is Parser.ParseContext on the reusable session context,
+// returning the run's engine statistics alongside the value (a
+// memo-shedding run reports its bounded footprint in Stats.MemoBytes
+// and the shed in Stats.MemoSheds).
+func (s *Session) ParseContext(ctx context.Context, name, input string, lim Limits) (Value, ParseStats, error) {
+	return s.s.ParseContext(ctx, text.NewSource(name, input), lim)
 }
 
 // ParseWithProfile is Parse plus the engine statistics and a
@@ -300,6 +356,19 @@ func (p *Parser) ParseBatch(name string, inputs []string, workers int) []BatchRe
 		srcs[i] = text.NewSource(fmt.Sprintf("%s[%d]", name, i), in)
 	}
 	return p.prog.ParseAll(srcs, workers)
+}
+
+// ParseBatchContext is ParseBatch under a context and per-input
+// resource budgets: each input is parsed under lim, and cancellation
+// drains the batch promptly — in-flight parses abort on their next
+// governance poll and unstarted inputs are marked with a *LimitError
+// without being parsed. Every result slot is filled either way.
+func (p *Parser) ParseBatchContext(ctx context.Context, name string, inputs []string, workers int, lim Limits) []BatchResult {
+	srcs := make([]*text.Source, len(inputs))
+	for i, in := range inputs {
+		srcs[i] = text.NewSource(fmt.Sprintf("%s[%d]", name, i), in)
+	}
+	return p.prog.ParseAllContext(ctx, srcs, workers, lim)
 }
 
 // BatchStats aggregates the per-input statistics of a batch.

@@ -1,16 +1,19 @@
 #!/bin/sh
-# bench.sh — run the Table 5 session-residency and Table 6 observability
-# benchmarks and record the results as JSON (BENCH_2.json by default;
-# pass a path to override). Each record maps a benchmark name to ns/op,
-# B/op, and allocs/op. The Table 6 rows measure profiler overhead: the
-# "disabled" row must stay within 2% of BENCH_1.json's java/pooled row
-# (same workload, instrumentation seam added), while "profiled" and
-# "traced" show the cost of actually turning observability on.
+# bench.sh — run the Table 5 session-residency, Table 6 observability,
+# and Table 7 resource-governance benchmarks and record the results as
+# JSON (BENCH_3.json by default; pass a path to override). Each record
+# maps a benchmark name to ns/op, B/op, and allocs/op. The Table 6 rows
+# measure profiler overhead: the "disabled" row must stay within 2% of
+# BENCH_1.json's java/pooled row (same workload, instrumentation seam
+# added). The Table 7 rows compare ungoverned parsing against
+# zero-limits and all-budgets governed parsing; the VoidSteadyState row
+# is the allocation canary that scripts/bench_check.sh gates on
+# (allocs_per_op must be exactly 0).
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 
-go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6' -benchmem -benchtime 20x . |
+go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6|BenchmarkTable7' -benchmem -benchtime 20x . |
 	tee /dev/stderr |
 	awk '
 		/^Benchmark/ {
@@ -25,6 +28,8 @@ go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6' -benchmem -benchtime 
 				rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bop, aop)
 				if (name ~ /Table6Observability\/disabled/) disabled = ns
 				if (name ~ /Table6Observability\/profiled/) profiled = ns
+				if (name ~ /Table7Governance\/ungoverned/) ungoverned = ns
+				if (name ~ /Table7Governance\/zero-limits/) zerolimits = ns
 			}
 		}
 		END {
@@ -33,10 +38,12 @@ go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6' -benchmem -benchtime 
 			# the same 40 KB java.core workload) at these numbers. Kept in
 			# the output so the steady-state improvement is self-contained.
 			rows[++n] = "  {\"name\": \"seed/BenchmarkTable3Engines/size=40KB/optimized\", \"ns_per_op\": 29625281, \"bytes_per_op\": 9188320, \"allocs_per_op\": 144713}"
-			# Derived row: profiled/disabled time ratio, scaled by 1000 to
-			# fit the integer ns_per_op field (1730 = 1.73x overhead).
+			# Derived rows: time ratios scaled by 1000 to fit the integer
+			# ns_per_op field (1730 = 1.73x overhead).
 			if (disabled != "" && profiled != "")
 				rows[++n] = sprintf("  {\"name\": \"derived/profiler-overhead-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (profiled / disabled) * 1000)
+			if (ungoverned != "" && zerolimits != "")
+				rows[++n] = sprintf("  {\"name\": \"derived/governance-overhead-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (zerolimits / ungoverned) * 1000)
 			print "["
 			for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
 			print "]"

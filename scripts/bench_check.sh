@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench_check.sh — regression gate over a bench.sh JSON report
+# (BENCH_3.json by default; pass a path to override). The governed
+# zero-allocation guarantee is the one benchmark result that is a hard
+# invariant rather than a trend: the Table 5 void-grammar steady state
+# must report exactly 0 allocs/op, or the slab-arena / session-reuse /
+# governance-arming discipline has regressed. Plain grep/sed so the
+# gate runs anywhere a POSIX shell does.
+set -eu
+report="${1:-BENCH_3.json}"
+
+if [ ! -f "$report" ]; then
+	echo "bench_check: report $report not found (run scripts/bench.sh first)" >&2
+	exit 1
+fi
+
+row=$(grep 'Table5VoidSteadyState' "$report" || true)
+if [ -z "$row" ]; then
+	echo "bench_check: no Table5VoidSteadyState row in $report" >&2
+	exit 1
+fi
+
+allocs=$(printf '%s\n' "$row" | sed -n 's/.*"allocs_per_op": *\([0-9][0-9]*\).*/\1/p')
+if [ -z "$allocs" ]; then
+	echo "bench_check: could not read allocs_per_op from row: $row" >&2
+	exit 1
+fi
+if [ "$allocs" -ne 0 ]; then
+	echo "bench_check: void-grammar steady state allocates ($allocs allocs/op, want 0)" >&2
+	echo "bench_check: row: $row" >&2
+	exit 1
+fi
+echo "bench_check: OK (void-grammar steady state at 0 allocs/op)"

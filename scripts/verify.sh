@@ -1,8 +1,9 @@
 #!/bin/sh
-# verify.sh — the repo's full correctness gate: formatting drift, build,
-# vet, and the whole test suite under the race detector (the session
-# pool, ParseAll, and the profiled batch path make concurrency a
-# first-class code path).
+# verify.sh — the repo's fast correctness gate: formatting drift, build,
+# vet, and the whole test suite. The race detector runs as its own CI
+# job (see .github/workflows/ci.yml) so this gate stays quick enough to
+# run on every change; use `go test -race ./...` directly when touching
+# the session pool, ParseAll/ParseBatchContext, or the governance layer.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,6 +18,6 @@ echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
 go vet ./...
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test ./..."
+go test ./...
 echo "verify: OK"
