@@ -580,3 +580,61 @@ func BenchmarkTable6Observability(b *testing.B) {
 		}
 	})
 }
+
+// ---------------------------------------------------------------- Table 8
+//
+// Incremental reparsing over recycled memo tables: for each input size
+// and edit shape, the "full" row parses the edited text from scratch and
+// the "incremental" row applies the edit to a warm Document (alternating
+// an insertion with its exact inverse so every iteration invalidates,
+// relocates, and reparses for real). The acceptance bound is the
+// 64KB/line incremental row at >= 5x the full row; scripts/bench.sh
+// records the family (and that derived speedup) in BENCH_4.json.
+
+func BenchmarkTable8Incremental(b *testing.B) {
+	prog := mustProgram(b, grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	for _, kb := range []int{4, 16, 64, 256} {
+		input := workload.JavaProgram(workload.Config{Seed: 8, Size: kb * 1024})
+		for _, e := range []struct {
+			name string
+			p    workload.EditPair
+		}{
+			{"byte", workload.JavaEditByte(input)},
+			{"line", workload.JavaEditLine(input)},
+			{"blob10pct", workload.JavaEditBlob(input, 0.10)},
+		} {
+			edited := input[:e.p.Insert.Off] + e.p.Insert.Text + input[e.p.Insert.Off:]
+			editedSrc := text.NewSource("bench", edited)
+			b.Run(fmt.Sprintf("%dKB/%s/full", kb, e.name), func(b *testing.B) {
+				b.SetBytes(int64(len(edited)))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := prog.Parse(editedSrc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%dKB/%s/incremental", kb, e.name), func(b *testing.B) {
+				d := prog.NewDocument(text.NewSource("bench", input))
+				if d.Err() != nil {
+					b.Fatal(d.Err())
+				}
+				// Warm the ping-pong cycle once so the steady state is measured.
+				d.Apply(e.p.Insert)
+				d.Apply(e.p.Delete)
+				b.SetBytes(int64(len(edited)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ed := e.p.Insert
+					if i%2 == 1 {
+						ed = e.p.Delete
+					}
+					if _, _, err := d.Apply(ed); err != nil || d.Err() != nil {
+						b.Fatalf("apply: %v, parse: %v", err, d.Err())
+					}
+				}
+			})
+		}
+	}
+}

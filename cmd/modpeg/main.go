@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -87,15 +88,16 @@ commands:
                                    print the composed grammar
   check    [-d dir] <top>          compose and run the static checks
   parse    [-d dir] [-indent] [-stats] [-profile] [-timeout d] [-max-memo n]
-           [-max-depth n] [-strict] <top> [file]
+           [-max-depth n] [-strict] [-incremental -edits script] <top> [file]
                                    parse a file (or stdin) and print the AST,
-                                   optionally under resource limits
+                                   optionally under resource limits or through
+                                   an incremental edit script
   profile  [-d dir] [-n reps] [-top n] [-json] [-metrics] [-gen kb] <top> [file]
                                    profile parses of a file (or stdin, or a
                                    generated corpus) per production
   generate [-d dir] [-pkg p] [-o file] <top>
                                    emit a standalone Go parser
-  experiment [-kb n] [-mintime d] <table1..table5|table7|limits|fig1..fig3|hotprods|all>
+  experiment [-kb n] [-mintime d] <table1..table5|table7|table8|limits|fig1..fig3|hotprods|all>
                                    run the paper-reproduction experiments
   fmt      [-w] [file...]          reformat .mpeg module files (stdin without args)
 `)
@@ -233,9 +235,11 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 	maxMemo := fs.Int("max-memo", 0, "memo-table budget in bytes; the engine sheds memoization past it (0 = unlimited)")
 	maxDepth := fs.Int("max-depth", 0, "production-call depth limit (0 = unlimited)")
 	strict := fs.Bool("strict", false, "fail when the memo budget is hit instead of shedding memoization")
+	incremental := fs.Bool("incremental", false, "parse as an editable document and replay the -edits script incrementally")
+	editsPath := fs.String("edits", "", "edit script for -incremental: lines \"@off oldLen [\\\"text\\\"]\", blank-line-separated batches")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
-		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] [-profile] [-timeout d] [-max-memo n] [-max-depth n] [-strict] <top-module> [file]")
+		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] [-profile] [-timeout d] [-max-memo n] [-max-depth n] [-strict] [-incremental -edits script] <top-module> [file]")
 	}
 	p, err := modpeg.New(fs.Arg(0), moduleOpts(*dir)...)
 	if err != nil {
@@ -261,6 +265,19 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 		Strict:           *strict,
 	}
 	governed := lim != (modpeg.Limits{})
+
+	if *incremental {
+		if *editsPath == "" {
+			return fmt.Errorf("parse: -incremental requires -edits <script>")
+		}
+		if *withTrace || *withProfile || governed {
+			return fmt.Errorf("parse: -incremental is mutually exclusive with -trace, -profile, and resource limits")
+		}
+		return parseIncremental(p, name, string(input), *editsPath, w, *withStats, *indent, *asJSON)
+	}
+	if *editsPath != "" {
+		return fmt.Errorf("parse: -edits requires -incremental")
+	}
 
 	var v modpeg.Value
 	var stats modpeg.ParseStats
@@ -300,6 +317,114 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 		fmt.Fprintf(w, "\nhot productions:\n%s", prof.Report(10))
 	}
 	return nil
+}
+
+// parseIncremental runs `parse -incremental -edits <script>`: the input
+// becomes an editable document, each batch of the edit script is applied
+// with an incremental reparse, and the final document's AST (or error)
+// is printed exactly as a plain parse would print it. With -stats, one
+// statistics line per apply shows the reuse counters.
+func parseIncremental(p *modpeg.Parser, name, input, editsPath string, w io.Writer, withStats, indent, asJSON bool) error {
+	script, err := os.ReadFile(editsPath)
+	if err != nil {
+		return err
+	}
+	batches, err := parseEditScript(string(script))
+	if err != nil {
+		return err
+	}
+	d := p.NewDocument(name, input)
+	if withStats {
+		fmt.Fprintf(w, "parse: %s\n", d.Stats())
+	}
+	for i, batch := range batches {
+		_, stats, err := d.Apply(batch...)
+		if err != nil && d.Err() == nil {
+			// Rejected edits (parse errors show up as d.Err() instead and
+			// are legitimate intermediate states).
+			return fmt.Errorf("edit batch %d: %w", i+1, err)
+		}
+		if withStats {
+			outcome := "ok"
+			if d.Err() != nil {
+				outcome = "syntax error"
+			}
+			fmt.Fprintf(w, "apply %d (%d edits, %s): %s\n", i+1, len(batch), outcome, stats)
+		}
+	}
+	if d.Err() != nil {
+		if pe, ok := d.Err().(*vm.ParseError); ok {
+			return fmt.Errorf("%s", pe.Detail())
+		}
+		return d.Err()
+	}
+	switch {
+	case asJSON:
+		out, err := modpeg.ValueToJSON(d.Value())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, out)
+	case indent:
+		fmt.Fprint(w, modpeg.IndentValue(d.Value()))
+	default:
+		fmt.Fprintln(w, modpeg.FormatValue(d.Value()))
+	}
+	return nil
+}
+
+// parseEditScript reads the -edits format: one edit per line as
+//
+//	@<off> <oldLen> ["<replacement>"]
+//
+// with the replacement in Go string-literal syntax (omitted for pure
+// deletions). Offsets are bytes into the text as it stands before the
+// line's batch. Consecutive edit lines form one batch applied atomically;
+// a blank line ends the batch. Lines starting with # are comments.
+func parseEditScript(src string) ([][]modpeg.Edit, error) {
+	var batches [][]modpeg.Edit
+	var cur []modpeg.Edit
+	flush := func() {
+		if len(cur) > 0 {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+			flush()
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue
+		case !strings.HasPrefix(line, "@"):
+			return nil, fmt.Errorf("edit script line %d: want '@off oldLen [\"text\"]', got %q", i+1, line)
+		}
+		rest := strings.TrimSpace(line[1:])
+		parts := strings.SplitN(rest, " ", 3)
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("edit script line %d: want '@off oldLen [\"text\"]', got %q", i+1, line)
+		}
+		off, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("edit script line %d: bad offset %q", i+1, parts[0])
+		}
+		oldLen, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("edit script line %d: bad oldLen %q", i+1, parts[1])
+		}
+		text := ""
+		if len(parts) == 3 && strings.TrimSpace(parts[2]) != "" {
+			text, err = strconv.Unquote(strings.TrimSpace(parts[2]))
+			if err != nil {
+				return nil, fmt.Errorf("edit script line %d: bad replacement %q: %v", i+1, parts[2], err)
+			}
+		}
+		cur = append(cur, modpeg.Edit{Off: off, OldLen: oldLen, NewLen: len(text), Text: text})
+	}
+	flush()
+	return batches, nil
 }
 
 // cmdProfile parses an input repeatedly under the per-production
@@ -475,7 +600,7 @@ func cmdExperiment(args []string, w io.Writer) error {
 	minTime := fs.Duration("mintime", 300*time.Millisecond, "measurement window per configuration")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|table7|limits|fig1..fig3|hotprods|all>")
+		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|table7|table8|limits|fig1..fig3|hotprods|all>")
 	}
 	opts := experiments.Options{InputKB: *kb, MinTime: *minTime}
 	if fs.Arg(0) == "all" {

@@ -133,6 +133,65 @@ func TestParseWithLimits(t *testing.T) {
 	}
 }
 
+func TestParseIncremental(t *testing.T) {
+	dir := t.TempDir()
+	edits := filepath.Join(dir, "edits.txt")
+	script := `# turn 1+2 into 10+2*3, then into 10+2*34
+@1 0 "0"
+@3 0 "*3"
+
+@6 0 "4"
+`
+	if err := os.WriteFile(edits, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errb, code := runCmd(t, "1+2", "parse", "-incremental", "-edits", edits, "-stats", "calc.core")
+	if code != 0 {
+		t.Fatalf("incremental parse: code=%d err=%q", code, errb)
+	}
+	if !strings.Contains(out, `(Add (Num "10") (Mul (Num "2") (Num "34")))`) {
+		t.Fatalf("final value missing in:\n%s", out)
+	}
+	if !strings.Contains(out, "apply 1 (2 edits, ok):") || !strings.Contains(out, "apply 2 (1 edits, ok):") {
+		t.Fatalf("per-apply stats missing in:\n%s", out)
+	}
+
+	// An edit script that leaves the document broken: syntax error, exit 1.
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("@1 1 \"?\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errb, code = runCmd(t, "1+2", "parse", "-incremental", "-edits", bad, "calc.core")
+	if code != 1 || !strings.Contains(errb, "syntax error") {
+		t.Fatalf("broken doc: code=%d err=%q", code, errb)
+	}
+
+	// Malformed script lines are reported with their line number.
+	ugly := filepath.Join(dir, "ugly.txt")
+	if err := os.WriteFile(ugly, []byte("@zero 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errb, code = runCmd(t, "1+2", "parse", "-incremental", "-edits", ugly, "calc.core")
+	if code != 1 || !strings.Contains(errb, "line 1") {
+		t.Fatalf("bad script: code=%d err=%q", code, errb)
+	}
+
+	// Flag validation: -incremental needs -edits, -edits needs -incremental,
+	// and resource limits are mutually exclusive with incremental mode.
+	_, errb, code = runCmd(t, "1+2", "parse", "-incremental", "calc.core")
+	if code != 1 || !strings.Contains(errb, "requires -edits") {
+		t.Fatalf("missing -edits: code=%d err=%q", code, errb)
+	}
+	_, errb, code = runCmd(t, "1+2", "parse", "-edits", edits, "calc.core")
+	if code != 1 || !strings.Contains(errb, "requires -incremental") {
+		t.Fatalf("bare -edits: code=%d err=%q", code, errb)
+	}
+	_, errb, code = runCmd(t, "1+2", "parse", "-incremental", "-edits", edits, "-max-depth", "64", "calc.core")
+	if code != 1 || !strings.Contains(errb, "mutually exclusive") {
+		t.Fatalf("limits+incremental: code=%d err=%q", code, errb)
+	}
+}
+
 func TestParseWithModuleDir(t *testing.T) {
 	dir := t.TempDir()
 	mod := filepath.Join(dir, "user.lang.mpeg")

@@ -105,7 +105,7 @@ func (t Table) Render() string {
 func All(opts Options) []Table {
 	return []Table{
 		Table1(), Table2(opts), Table3(opts), Table4(opts), Table5(opts),
-		Table7(opts), Fig1(opts), Fig2(opts), Fig3(opts), HotProds(opts),
+		Table7(opts), Table8(opts), Fig1(opts), Fig2(opts), Fig3(opts), HotProds(opts),
 	}
 }
 
@@ -125,6 +125,8 @@ func ByID(id string, opts Options) (Table, error) {
 		return Table5(opts), nil
 	case "table7", "limits":
 		return Table7(opts), nil
+	case "table8", "incremental":
+		return Table8(opts), nil
 	case "fig1":
 		return Fig1(opts), nil
 	case "fig2":
@@ -825,5 +827,83 @@ func Fig3(opts Options) Table {
 			})
 		}
 	}
+	return t
+}
+
+// ---------------------------------------------------------------- table8
+
+// Table8 measures incremental reparsing over recycled memo tables on the
+// Java-subset corpus: the cost of a from-scratch reparse of the edited
+// text vs an incremental Document.Apply, for three edit shapes — one
+// byte, one statement line, and a 10% paste — at input sizes from 4 KB
+// to 256 KB. The measured Apply alternates an insertion with its exact
+// inverse, so every iteration does real invalidation work against a warm
+// document; the reuse counters come from the insertion step.
+func Table8(opts Options) Table {
+	opts = opts.normalized()
+	t := Table{
+		ID:    "Table 8",
+		Title: "incremental reparse vs full reparse, java.core corpus",
+		Header: []string{"inputKB", "edit", "full", "incremental", "speedup",
+			"reused", "invalidated", "relocated"},
+	}
+	prog, err := buildProgram(grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	sizes := []int{4, 16, 64, 256}
+	if opts.InputKB < 16 {
+		// Fast mode (tests): keep the shape, skip the slow upper rungs.
+		sizes = sizes[:2]
+	}
+	for _, kb := range sizes {
+		input := workload.JavaProgram(workload.Config{Seed: 8, Size: kb * 1024})
+		for _, e := range []struct {
+			name string
+			p    workload.EditPair
+		}{
+			{"1 byte", workload.JavaEditByte(input)},
+			{"1 line", workload.JavaEditLine(input)},
+			{"10% paste", workload.JavaEditBlob(input, 0.10)},
+		} {
+			edited := input[:e.p.Insert.Off] + e.p.Insert.Text + input[e.p.Insert.Off:]
+			editedSrc := text.NewSource("bench", edited)
+			if _, _, err := prog.Parse(editedSrc); err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%dKB %s: %v", kb, e.name, err))
+				continue
+			}
+			full := measure(opts.MinTime, func() { prog.Parse(editedSrc) })
+
+			d := prog.NewDocument(text.NewSource("bench", input))
+			if d.Err() != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%dKB %s: %v", kb, e.name, d.Err()))
+				continue
+			}
+			pairTime := measure(opts.MinTime, func() {
+				d.Apply(e.p.Insert)
+				d.Apply(e.p.Delete)
+			})
+			incr := pairTime / 2
+			_, stats, applyErr := d.Apply(e.p.Insert)
+			if applyErr != nil || d.Err() != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%dKB %s: apply=%v parse=%v", kb, e.name, applyErr, d.Err()))
+				continue
+			}
+			d.Apply(e.p.Delete)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(len(input) / 1024),
+				e.name,
+				full.Round(time.Microsecond).String(),
+				incr.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.1fx", float64(full)/float64(incr)),
+				fmt.Sprint(stats.MemoReused),
+				fmt.Sprint(stats.MemoInvalidated),
+				fmt.Sprint(stats.MemoRelocated),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"incremental = mean of an insert/inverse-delete pair on a warm document; counters from the insert")
 	return t
 }

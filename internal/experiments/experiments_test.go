@@ -169,13 +169,13 @@ func TestByIDAndAll(t *testing.T) {
 	if err != nil || tbl.ID != "Table 1" {
 		t.Fatalf("ByID: %v", err)
 	}
-	for _, id := range []string{"table2", "table3", "table4", "table5", "table7", "limits", "fig1", "fig2", "fig3", "hotprods"} {
+	for _, id := range []string{"table2", "table3", "table4", "table5", "table7", "limits", "table8", "incremental", "fig1", "fig2", "fig3", "hotprods"} {
 		if _, err := ByID(id, Options{InputKB: 2, MinTime: time.Millisecond}); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 	}
-	// All with minimal settings must produce 10 tables.
-	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 10 {
+	// All with minimal settings must produce 11 tables.
+	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 11 {
 		t.Fatalf("All = %d tables", len(got))
 	}
 }
@@ -234,5 +234,28 @@ func TestTable5Shapes(t *testing.T) {
 	out := tbl.Render()
 	if !strings.Contains(out, "engine residency") {
 		t.Fatalf("render = %q", out[:60])
+	}
+}
+
+func TestTable8Shapes(t *testing.T) {
+	tbl := Table8(fast())
+	// Fast mode trims the size ladder to 4 and 16 KB; three edit shapes each.
+	if tbl.ID != "Table 8" || len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d: %v", len(tbl.Rows), tbl.Notes)
+	}
+	for _, row := range tbl.Rows {
+		var speedup float64
+		if _, err := fmt.Sscanf(row[4], "%fx", &speedup); err != nil {
+			t.Fatalf("speedup cell %q: %v", row[4], err)
+		}
+		if speedup <= 1 {
+			t.Errorf("%s KB / %s: incremental apply is not faster than full reparse (%s)",
+				row[0], row[1], row[4])
+		}
+		var relocated int
+		fmt.Sscan(row[7], &relocated)
+		if relocated == 0 {
+			t.Errorf("%s KB / %s: no entries relocated — reuse machinery idle", row[0], row[1])
+		}
 	}
 }

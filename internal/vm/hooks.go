@@ -36,7 +36,7 @@ type Hook interface {
 	OnExit(prod, pos, end int, ok bool)
 	// OnMemoHit fires when the memo table answers for prod at pos
 	// instead of evaluating it: a stored success ending at end (ok) or a
-	// stored failure (!ok, end 0). The body is not evaluated, so no
+	// stored failure (!ok, end == pos). The body is not evaluated, so no
 	// OnEnter/OnExit pair follows.
 	OnMemoHit(prod, pos, end int, ok bool)
 	// OnFail fires when first-byte dispatch rejects prod at pos without

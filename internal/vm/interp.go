@@ -35,6 +35,17 @@ type Stats struct {
 	MemoSheds int
 	// MaxPos is the rightmost input position reached.
 	MaxPos int
+
+	// Incremental-reparse accounting (Document.Apply; see incremental.go).
+	// MemoReused counts memo hits answered by entries recycled from an
+	// earlier parse of the document; MemoInvalidated counts entries killed
+	// because their examined span overlapped an edit's damage region (after
+	// lookahead widening); MemoRelocated counts surviving entries shifted
+	// past an edit by remapping the chunk directory. All three are zero for
+	// ordinary from-scratch parses.
+	MemoReused      int
+	MemoInvalidated int
+	MemoRelocated   int
 }
 
 func (s Stats) String() string {
@@ -43,6 +54,10 @@ func (s Stats) String() string {
 		s.ChunksAllocated, s.ChunkRows, s.MemoBytes, s.MaxPos)
 	if s.MemoSheds > 0 {
 		out += fmt.Sprintf(" sheds=%d", s.MemoSheds)
+	}
+	if s.MemoReused+s.MemoInvalidated+s.MemoRelocated > 0 {
+		out += fmt.Sprintf(" reused=%d invalidated=%d relocated=%d",
+			s.MemoReused, s.MemoInvalidated, s.MemoRelocated)
 	}
 	return out
 }
@@ -59,6 +74,9 @@ func (s *Stats) Add(o Stats) {
 	s.ChunkRows += o.ChunkRows
 	s.MemoBytes += o.MemoBytes
 	s.MemoSheds += o.MemoSheds
+	s.MemoReused += o.MemoReused
+	s.MemoInvalidated += o.MemoInvalidated
+	s.MemoRelocated += o.MemoRelocated
 	if o.MaxPos > s.MaxPos {
 		s.MaxPos = o.MaxPos
 	}
@@ -92,10 +110,19 @@ func (e *ParseError) Detail() string {
 }
 
 // memoEntry is one memoized outcome. state distinguishes empty slots from
-// stored failures and successes.
+// stored failures and successes. len is the number of bytes the stored
+// success consumed — a length rather than an absolute end position, so an
+// entry stays valid when incremental reparsing relocates it to a shifted
+// position by remapping the chunk directory (incremental.go): the row
+// pointers move, the rows never need rewriting. gen tags the entry with
+// the document generation that stored it; a memo hit on an entry from an
+// earlier generation is a reuse of recycled state (Stats.MemoReused).
+// Both fields pack into the padding the old absolute-end layout already
+// paid for, keeping the entry at the modeled memoEntrySize.
 type memoEntry struct {
-	state uint8 // 0 empty, 1 fail, 2 success
-	end   int32
+	state uint8  // 0 empty, 1 fail, 2 success
+	gen   uint16 // storing generation (0 outside incremental documents)
+	len   int32  // bytes consumed on success (end = pos + len)
 	val   ast.Value
 }
 
@@ -106,8 +133,8 @@ const (
 )
 
 // Memo footprint model (Stats.MemoBytes). Both layouts are charged for
-// the same 24-byte entry payload (state+end packed into one word plus a
-// two-word interface value) so their estimates are directly comparable:
+// the same 24-byte entry payload (state+gen+len packed into one word plus
+// a two-word interface value) so their estimates are directly comparable:
 //
 //   - chunked: every allocated chunk is chunkSize entries of
 //     memoEntrySize bytes, plus one 8-byte chunk pointer per directory
@@ -164,6 +191,25 @@ type Parser struct {
 	// recursion preserves the stack discipline because nested expressions
 	// finish (and truncate) before the enclosing one pushes again.
 	scratch []ast.Value
+
+	// examined is the exclusive end of the input region the production
+	// invocation currently evaluating has read — matched or merely peeked
+	// at by dispatch, literals, classes, and predicates. parseProd frames
+	// it per invocation and folds the result into prodLook; EOF probes
+	// count the position past the end, so entries whose outcome depended
+	// on where the input stopped are widened too.
+	examined int
+	// prodLook is the per-memo-column farthest-lookahead watermark: the
+	// most bytes any invocation of that production examined beyond its
+	// match end (beyond its start, for failures). Incremental reparsing
+	// widens edit damage by it so entries that peeked across an edit are
+	// invalidated (incremental.go); memo hits propagate it so a caller's
+	// examined region covers everything the memoized work once read.
+	prodLook []int32
+	// gen is the memo generation tag incremental documents bump per
+	// Apply; stored entries carry it so hits on recycled entries can be
+	// counted (Stats.MemoReused). Always 0 outside documents.
+	gen uint16
 
 	// farthest-failure tracking: a small dedup slice (not a map) because
 	// fail() runs on every mismatched terminal — the hottest path in the
@@ -277,6 +323,8 @@ func (ps *Parser) begin(src *text.Source) {
 	ps.failExpected = ps.failExpected[:0]
 	ps.quiet = 0
 	ps.hook = nil
+	ps.examined = 0
+	ps.gen = 0
 	ps.disarm()
 	// Drop value references parked in the scratch stack's capacity.
 	scratch := ps.scratch[:cap(ps.scratch)]
@@ -284,6 +332,16 @@ func (ps *Parser) begin(src *text.Source) {
 	ps.scratch = ps.scratch[:0]
 	if !ps.prog.opts.Memoize {
 		return
+	}
+	// Lookahead watermarks start fresh with the memo table; incremental
+	// reparses keep both (beginIncremental in incremental.go).
+	if n := ps.prog.memoCols; n > 0 {
+		if cap(ps.prodLook) >= n {
+			ps.prodLook = ps.prodLook[:n]
+			clear(ps.prodLook)
+		} else {
+			ps.prodLook = make([]int32, n)
+		}
 	}
 	if ps.prog.opts.ChunkedMemo {
 		ps.chunkCount = (ps.prog.memoCols + chunkSize - 1) / chunkSize
@@ -358,6 +416,18 @@ func (ps *Parser) syntaxError() error {
 	return &ParseError{Src: ps.src, Pos: text.Pos(pos), Expected: expected}
 }
 
+// note records that the current evaluation examined input up to (but not
+// including) end — matched or merely peeked. Probes that run into the end
+// of input pass an end one past the input length, so outcomes that
+// depended on where the input stopped are examined-region facts too
+// (appending text then correctly invalidates them). The mark is monotone
+// within a parseProd frame; the frame turns it into prodLook watermarks.
+func (ps *Parser) note(end int) {
+	if end > ps.examined {
+		ps.examined = end
+	}
+}
+
 // fail records a failure at pos expecting the given description.
 func (ps *Parser) fail(pos int, what string) {
 	// The backtrack edge: every failed literal, class, predicate, or
@@ -392,7 +462,10 @@ func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 	info := &ps.prog.prods[prod]
 
 	// First-byte dispatch: fail fast without touching the memo table.
+	// Accepted or not, the decision read the byte at pos (or the end of
+	// input), so the caller's examined region covers it.
 	if ps.prog.opts.Dispatch && info.firstOK {
+		ps.note(pos + 1)
 		if pos >= len(ps.in) || !info.first.Has(ps.in[pos]) {
 			ps.stats.DispatchSkips++
 			if ps.hook != nil {
@@ -407,14 +480,22 @@ func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 	if col >= 0 {
 		if e, ok := ps.memoLoad(pos, col); ok {
 			ps.stats.MemoHits++
+			if e.gen != ps.gen {
+				ps.stats.MemoReused++
+			}
+			end := pos + int(e.len)
+			// The memoized evaluation examined at most its match extent
+			// plus the production's lookahead watermark; propagate that to
+			// the caller's examined region.
+			ps.note(end + int(ps.prodLook[col]))
 			if ps.hook != nil {
-				ps.hook.OnMemoHit(prod, pos, int(e.end), e.state == memoOK)
+				ps.hook.OnMemoHit(prod, pos, end, e.state == memoOK)
 			}
 			if e.state == memoFail {
 				ps.fail(pos, info.display)
 				return 0, nil, false
 			}
-			return int(e.end), e.val, true
+			return end, e.val, true
 		}
 		ps.stats.MemoMisses++
 	}
@@ -428,7 +509,17 @@ func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 	if ps.hook != nil {
 		ps.hook.OnEnter(prod, pos)
 	}
+	// Frame the examined high-water mark so this invocation's extent can
+	// be read off after eval; the caller's own mark is restored (merged)
+	// below. Backtracking callers may re-enter at an earlier pos, so the
+	// saved mark can exceed the frame's.
+	saveExamined := ps.examined
+	ps.examined = pos
 	end, val, ok := ps.eval(info.body, pos)
+	examined := ps.examined
+	if saveExamined > examined {
+		ps.examined = saveExamined
+	}
 	ps.depth--
 	if ps.hook != nil {
 		ps.hook.OnExit(prod, pos, end, ok)
@@ -446,13 +537,24 @@ func (ps *Parser) parseProd(prod, pos int) (int, ast.Value, bool) {
 		}
 	}
 
-	if col >= 0 && !ps.shed {
-		e := memoEntry{state: memoFail}
+	if col >= 0 {
+		// Record how far past its match (past its start, when failing)
+		// this invocation read — the production's lookahead watermark.
+		matchEnd := pos
 		if ok {
-			e = memoEntry{state: memoOK, end: int32(end), val: val}
+			matchEnd = end
 		}
-		if ps.memoStore(pos, col, e) {
-			ps.stats.MemoStores++
+		if extra := examined - matchEnd; extra > int(ps.prodLook[col]) {
+			ps.prodLook[col] = int32(extra)
+		}
+		if !ps.shed {
+			e := memoEntry{state: memoFail, gen: ps.gen}
+			if ok {
+				e = memoEntry{state: memoOK, gen: ps.gen, len: int32(end - pos), val: val}
+			}
+			if ps.memoStore(pos, col, e) {
+				ps.stats.MemoStores++
+			}
 		}
 	}
 	if !ok {
@@ -526,6 +628,7 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 
 	case nLit:
 		end := pos + len(n.text)
+		ps.note(end)
 		if end > len(ps.in) || ps.in[pos:end] != n.text {
 			ps.fail(pos, n.display)
 			return 0, nil, false
@@ -533,6 +636,7 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 		return end, nil, true
 
 	case *nClass:
+		ps.note(pos + 1)
 		if pos >= len(ps.in) || !n.tbl[ps.in[pos]] {
 			ps.fail(pos, "character class")
 			return 0, nil, false
@@ -543,6 +647,7 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 		return pos + 1, ps.values.newToken(ps.in[pos:pos+1], text.NewSpan(text.Pos(pos), text.Pos(pos+1))), true
 
 	case nAny:
+		ps.note(pos + 1)
 		if pos >= len(ps.in) {
 			ps.fail(pos, "any character")
 			return 0, nil, false
@@ -644,6 +749,7 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 		for i := range n.alts {
 			alt := &n.alts[i]
 			if alt.dispatchOK {
+				ps.note(pos + 1)
 				if !haveByte || !alt.first.Has(b) {
 					ps.stats.DispatchSkips++
 					continue

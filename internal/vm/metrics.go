@@ -32,6 +32,13 @@ type metricsRegistry struct {
 	limitStops      atomic.Int64
 	memoSheds       atomic.Int64
 	panicsContained atomic.Int64
+
+	// Incremental-document counters (incremental.go).
+	incrementalApplies      atomic.Int64
+	incrementalFullReparses atomic.Int64
+	memoEntriesReused       atomic.Int64
+	memoEntriesInvalidated  atomic.Int64
+	memoEntriesRelocated    atomic.Int64
 }
 
 // metrics is the registry instance. Process-wide by design: a fleet of
@@ -88,6 +95,19 @@ type MetricsSnapshot struct {
 	// *EngineError by the governance layer. Nonzero means an engine or
 	// hook bug; the counter exists so a fleet notices.
 	PanicsContained int64 `json:"panics_contained"`
+	// IncrementalApplies counts Document.Apply calls with at least one
+	// edit; IncrementalFullReparses counts the subset that fell back to a
+	// from-scratch reparse (damage threshold, arena growth bound,
+	// unsupported engine configuration, or a failed incremental pass
+	// being re-reported from scratch).
+	IncrementalApplies      int64 `json:"incremental_applies"`
+	IncrementalFullReparses int64 `json:"incremental_full_reparses"`
+	// MemoEntriesReused/Invalidated/Relocated aggregate the per-apply
+	// Stats.MemoReused / MemoInvalidated / MemoRelocated counters across
+	// every successful incremental apply in the process.
+	MemoEntriesReused      int64 `json:"memo_entries_reused"`
+	MemoEntriesInvalidated int64 `json:"memo_entries_invalidated"`
+	MemoEntriesRelocated   int64 `json:"memo_entries_relocated"`
 }
 
 // Metrics returns a snapshot of the process-wide engine metrics.
@@ -105,6 +125,12 @@ func Metrics() MetricsSnapshot {
 		LimitStops:         metrics.limitStops.Load(),
 		MemoSheds:          metrics.memoSheds.Load(),
 		PanicsContained:    metrics.panicsContained.Load(),
+
+		IncrementalApplies:      metrics.incrementalApplies.Load(),
+		IncrementalFullReparses: metrics.incrementalFullReparses.Load(),
+		MemoEntriesReused:       metrics.memoEntriesReused.Load(),
+		MemoEntriesInvalidated:  metrics.memoEntriesInvalidated.Load(),
+		MemoEntriesRelocated:    metrics.memoEntriesRelocated.Load(),
 	}
 }
 
@@ -130,4 +156,9 @@ func ResetMetrics() {
 	metrics.limitStops.Store(0)
 	metrics.memoSheds.Store(0)
 	metrics.panicsContained.Store(0)
+	metrics.incrementalApplies.Store(0)
+	metrics.incrementalFullReparses.Store(0)
+	metrics.memoEntriesReused.Store(0)
+	metrics.memoEntriesInvalidated.Store(0)
+	metrics.memoEntriesRelocated.Store(0)
 }

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"modpeg/internal/vm"
+)
+
+// ------------------------------------------------------------------- sql
+
+// SQLQuery generates a query for the bundled sql grammar of roughly
+// cfg.Size bytes: a wide column list (flat repetition, so size does not
+// translate into recursion depth) and a bounded AND-chain WHERE clause
+// exercising every comparison operator and operand kind.
+func SQLQuery(cfg Config) string {
+	r := cfg.rng()
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if cfg.Size < 32 {
+		b.WriteString("* FROM tiny")
+		return b.String()
+	}
+	b.WriteString("id")
+	for b.Len() < cfg.Size*7/10 {
+		fmt.Fprintf(&b, ", col_%d", r.Intn(10000))
+	}
+	b.WriteString(" FROM measurements WHERE ")
+	ops := []string{"<=", ">=", "<>", "=", "<", ">"}
+	terms := 1 + r.Intn(32)
+	for i := 0; i < terms || b.Len() < cfg.Size; i++ {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		op := ops[r.Intn(len(ops))]
+		switch r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "x_%d %s %d", r.Intn(100), op, r.Intn(100000))
+		case 1:
+			fmt.Fprintf(&b, "name %s 'val_%d'", op, r.Intn(1000))
+		default:
+			fmt.Fprintf(&b, "%d %s threshold", r.Intn(1000), op)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// JavaSQLProgram generates input for the demo.javasql.top composed
+// grammar: a Java-subset program whose method bodies include backquoted
+// SQL queries in expression position.
+func JavaSQLProgram(cfg Config) string {
+	r := cfg.rng()
+	g := &javaGen{r: r}
+	var b strings.Builder
+	b.WriteString("package com.example.embedded;\n\n")
+	b.WriteString("public class Queries {\n")
+	b.WriteString("    private int state = 0;\n\n")
+	for i := 0; b.Len() < cfg.Size; i++ {
+		fmt.Fprintf(&b, "    int method%d(int a, int b) {\n", i)
+		n := 2 + r.Intn(4)
+		for j := 0; j < n; j++ {
+			if r.Intn(3) == 0 {
+				fmt.Fprintf(&b, "        int rs%d = `SELECT id, col_%d FROM t_%d WHERE x_%d >= %d AND name = 'v%d'`;\n",
+					r.Intn(100), r.Intn(100), r.Intn(10), r.Intn(10), r.Intn(1000), r.Intn(100))
+			} else {
+				g.stmt(&b, 2, 1)
+			}
+		}
+		fmt.Fprintf(&b, "        return %s;\n    }\n\n", g.expr(1))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ------------------------------------------------------------ edit pairs
+
+// EditPair is an insertion plus its exact inverse, so an incremental
+// benchmark can ping-pong a document between two states without the text
+// (or the memo table) drifting across iterations.
+type EditPair struct {
+	Insert vm.Edit
+	Delete vm.Edit
+}
+
+func pair(off int, text string) EditPair {
+	return EditPair{
+		Insert: vm.Edit{Off: off, NewLen: len(text), Text: text},
+		Delete: vm.Edit{Off: off, OldLen: len(text)},
+	}
+}
+
+// javaAnchor returns the offset just past the ";\n" statement terminator
+// nearest the middle of src — a position where a new statement line is
+// grammatically valid (for the generated corpora, whose class-level field
+// declarations all sit near the top of the file).
+func javaAnchor(src string) int {
+	mid := len(src) / 2
+	after := strings.Index(src[mid:], ";\n")
+	before := strings.LastIndex(src[:mid], ";\n")
+	switch {
+	case after >= 0 && (before < 0 || after <= mid-before):
+		return mid + after + 2
+	case before >= 0:
+		return before + 2
+	default:
+		return len(src)
+	}
+}
+
+// JavaEditByte is the smallest interesting edit: one digit appended to
+// the numeric literal (or numbered identifier) nearest the middle of the
+// document. Valid wherever a digit already is.
+func JavaEditByte(src string) EditPair {
+	mid := len(src) / 2
+	off := -1
+	for i := 0; i < len(src)/2; i++ {
+		if j := mid + i; j < len(src) && src[j] >= '0' && src[j] <= '9' {
+			off = j + 1
+			break
+		}
+		if j := mid - i; j >= 0 && src[j] >= '0' && src[j] <= '9' {
+			off = j + 1
+			break
+		}
+	}
+	if off < 0 {
+		off = javaAnchor(src)
+		return pair(off, "        state = 7;\n")
+	}
+	return pair(off, "7")
+}
+
+// JavaEditLine inserts one whole statement line at a statement boundary
+// near the middle of the document — the paper-style "programmer typed a
+// line" edit.
+func JavaEditLine(src string) EditPair {
+	return pair(javaAnchor(src), "        state = state + 1;\n")
+}
+
+// JavaEditBlob inserts a block of statements sized at the given fraction
+// of the document (e.g. 0.10 for a 10% paste) at a statement boundary
+// near the middle.
+func JavaEditBlob(src string, frac float64) EditPair {
+	const line = "        state = state + 1;\n"
+	n := int(float64(len(src))*frac)/len(line) + 1
+	return pair(javaAnchor(src), strings.Repeat(line, n))
+}

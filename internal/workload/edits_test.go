@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"modpeg/internal/text"
+)
+
+func TestSQLQueryCorpusParses(t *testing.T) {
+	prog := progFor(t, "sql")
+	for _, size := range []int{20, 500, 5000, 50000} {
+		q := SQLQuery(Config{Seed: int64(size), Size: size})
+		if size >= 500 && len(q) < size {
+			t.Errorf("SQLQuery(%d) produced only %d bytes", size, len(q))
+		}
+		mustParse(t, prog, q, "sql")
+	}
+	if SQLQuery(Config{Seed: 3, Size: 4000}) != SQLQuery(Config{Seed: 3, Size: 4000}) {
+		t.Fatal("SQLQuery not deterministic")
+	}
+}
+
+func TestJavaSQLCorpusParses(t *testing.T) {
+	prog := progFor(t, "demo.javasql.top")
+	src := JavaSQLProgram(Config{Seed: 11, Size: 8000})
+	if !strings.Contains(src, "`SELECT") {
+		t.Fatal("corpus contains no embedded queries")
+	}
+	mustParse(t, prog, src, "javasql")
+	if JavaSQLProgram(Config{Seed: 11, Size: 8000}) != src {
+		t.Fatal("JavaSQLProgram not deterministic")
+	}
+}
+
+// TestJavaEditPairs applies each generated edit pair to a live document
+// and checks three things: the edited text still parses, the inverse
+// restores the original text byte-for-byte, and the pair round-trips
+// under incremental reparsing (the shape the benchmarks rely on).
+func TestJavaEditPairs(t *testing.T) {
+	prog := progFor(t, "java.core")
+	src := JavaProgram(Config{Seed: 5, Size: 16000})
+	pairs := map[string]EditPair{
+		"byte": JavaEditByte(src),
+		"line": JavaEditLine(src),
+		"blob": JavaEditBlob(src, 0.10),
+	}
+	if blob := pairs["blob"]; blob.Insert.NewLen < len(src)/10 {
+		t.Fatalf("blob insert is only %d bytes for a %d-byte document", blob.Insert.NewLen, len(src))
+	}
+	for name, p := range pairs {
+		d := prog.NewDocument(text.NewSource("t", src))
+		if d.Err() != nil {
+			t.Fatalf("base corpus does not parse: %v", d.Err())
+		}
+		if _, _, err := d.Apply(p.Insert); err != nil || d.Err() != nil {
+			t.Fatalf("%s insert: apply=%v parse=%v", name, err, d.Err())
+		}
+		if _, _, err := d.Apply(p.Delete); err != nil || d.Err() != nil {
+			t.Fatalf("%s delete: apply=%v parse=%v", name, err, d.Err())
+		}
+		if d.Text() != src {
+			t.Fatalf("%s pair does not round-trip the text", name)
+		}
+	}
+}

@@ -341,6 +341,65 @@ func (s *Session) ParseWithHook(name, input string, h ParseHook) (Value, ParseSt
 	return s.s.ParseWithHook(text.NewSource(name, input), h)
 }
 
+// Edit describes one textual change to a Document: the OldLen bytes at
+// Off (pre-edit coordinates) are replaced by Text, whose length must
+// equal NewLen. Insertions have OldLen 0, deletions NewLen 0. Edits in
+// one Apply batch must not overlap.
+type Edit = vm.Edit
+
+// Document owns a source text and the memo state of its last parse, and
+// reparses incrementally as the text is edited: after a small edit, memo
+// entries untouched by the damage are reused (entries past the edit are
+// relocated by remapping the memo chunk directory, not rewritten), so a
+// reparse costs in proportion to the edit rather than the document. The
+// results are indistinguishable from a from-scratch parse of the current
+// text — values compare equal and errors are reported identically (a
+// failed incremental pass is re-reported from a full reparse) — except
+// that reused subtrees keep the source spans of the revision that first
+// parsed them.
+//
+// A Document is an editor-session object: it is not safe for concurrent
+// use and holds a dedicated parse session (with its memo arenas) alive
+// for its lifetime. Reuse requires the optimized chunked engine (the
+// default); under other engine configurations Apply transparently
+// reparses from scratch.
+type Document struct {
+	d *vm.Document
+}
+
+// NewDocument parses input (name labels it in diagnostics) and returns a
+// Document holding the result and the parse's memo state. A document
+// whose text does not currently parse is still editable — that is the
+// normal state mid-edit; the initial outcome is available via Value,
+// Stats, and Err.
+func (p *Parser) NewDocument(name, input string) *Document {
+	return &Document{d: p.prog.NewDocument(text.NewSource(name, input))}
+}
+
+// Apply applies the edits to the document text and reparses
+// incrementally. It returns the new value, the reparse's statistics
+// (MemoReused, MemoInvalidated, and MemoRelocated describe the memo
+// reuse; MemoBytes reports the whole live table), and the parse error if
+// the edited text does not parse. Invalid edits (out of bounds,
+// overlapping, or NewLen ≠ len(Text)) leave the document untouched and
+// return an error.
+func (d *Document) Apply(edits ...Edit) (Value, ParseStats, error) {
+	return d.d.Apply(edits...)
+}
+
+// Value returns the semantic value of the last (re)parse, nil if it
+// failed.
+func (d *Document) Value() Value { return d.d.Value() }
+
+// Stats returns the statistics of the last (re)parse.
+func (d *Document) Stats() ParseStats { return d.d.Stats() }
+
+// Err returns the last (re)parse's error, nil if it succeeded.
+func (d *Document) Err() error { return d.d.Err() }
+
+// Text returns the document's current content.
+func (d *Document) Text() string { return d.d.Text() }
+
 // BatchResult is the outcome of one input of a ParseBatch call.
 type BatchResult = vm.Result
 

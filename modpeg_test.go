@@ -317,3 +317,62 @@ func TestSteadyStateAllocsJava(t *testing.T) {
 		t.Errorf("warm session allocs = %.1f, cold = %.1f: want warm <= cold/2", warm, cold)
 	}
 }
+
+func TestDocumentFacade(t *testing.T) {
+	p, err := New("java.core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "class A { int f() { int state = 1; state = state + 2; return state; } }"
+	d := p.NewDocument("A.java", src)
+	if d.Err() != nil {
+		t.Fatalf("initial parse: %v", d.Err())
+	}
+	// Insert a statement; the result must match a from-scratch parse.
+	at := strings.Index(src, "state = state") // insert before this statement
+	v, stats, err := d.Apply(Edit{Off: at, NewLen: 11, Text: "state = 9; "})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	scratch, err := p.Parse("A.java", d.Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValuesEqual(v, scratch) {
+		t.Fatalf("incremental value diverges:\n doc:     %s\n scratch: %s",
+			FormatValue(v), FormatValue(scratch))
+	}
+	if stats.MemoReused == 0 {
+		t.Fatalf("no memo reuse on small edit: %+v", stats)
+	}
+	if d.Value() == nil || d.Stats() != stats {
+		t.Fatal("Document accessors out of sync with Apply result")
+	}
+
+	// Breaking and fixing the document reports errors exactly as Parse.
+	bad := strings.Index(d.Text(), "()")
+	if _, _, err := d.Apply(Edit{Off: bad, OldLen: 1, NewLen: 1, Text: "*"}); err == nil {
+		t.Fatalf("mangled document must fail to parse: %q", d.Text())
+	}
+	if _, perr := p.Parse("A.java", d.Text()); perr == nil || perr.Error() != d.Err().Error() {
+		t.Fatalf("document error diverges from Parse:\n doc:   %v\n parse: %v", d.Err(), perr)
+	}
+	if _, _, err := d.Apply(Edit{Off: bad, OldLen: 1, NewLen: 1, Text: "("}); err != nil {
+		t.Fatalf("fixing edit: %v", err)
+	}
+
+	// Invalid edits are rejected without touching the document.
+	before := d.Text()
+	if _, _, err := d.Apply(Edit{Off: len(before) + 1, NewLen: 1, Text: "x"}); err == nil {
+		t.Fatal("out-of-bounds edit accepted")
+	}
+	if d.Text() != before {
+		t.Fatal("rejected edit mutated the document")
+	}
+
+	// The incremental counters reach the process-wide metrics registry.
+	m := Metrics()
+	if m.IncrementalApplies == 0 || m.MemoEntriesReused == 0 {
+		t.Fatalf("metrics registry missed incremental activity: %+v", m)
+	}
+}

@@ -1,19 +1,23 @@
 #!/bin/sh
 # bench.sh — run the Table 5 session-residency, Table 6 observability,
-# and Table 7 resource-governance benchmarks and record the results as
-# JSON (BENCH_3.json by default; pass a path to override). Each record
-# maps a benchmark name to ns/op, B/op, and allocs/op. The Table 6 rows
-# measure profiler overhead: the "disabled" row must stay within 2% of
-# BENCH_1.json's java/pooled row (same workload, instrumentation seam
-# added). The Table 7 rows compare ungoverned parsing against
-# zero-limits and all-budgets governed parsing; the VoidSteadyState row
-# is the allocation canary that scripts/bench_check.sh gates on
-# (allocs_per_op must be exactly 0).
+# Table 7 resource-governance, and Table 8 incremental-reparse
+# benchmarks and record the results as JSON (BENCH_4.json by default;
+# pass a path to override). Each record maps a benchmark name to ns/op,
+# B/op, and allocs/op. The Table 6 rows measure profiler overhead: the
+# "disabled" row must stay within 2% of BENCH_1.json's java/pooled row
+# (same workload, instrumentation seam added). The Table 7 rows compare
+# ungoverned parsing against zero-limits and all-budgets governed
+# parsing; the VoidSteadyState row is the allocation canary that
+# scripts/bench_check.sh gates on (allocs_per_op must be exactly 0).
+# The Table 8 rows pair a from-scratch reparse of an edited input with
+# the incremental Document.Apply of the same edit; the derived
+# incremental-speedup row (64 KB java.core, one-line edit) must stay
+# at or above 5000 (= 5x, scaled by 1000).
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 
-go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6|BenchmarkTable7' -benchmem -benchtime 20x . |
+go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6|BenchmarkTable7|BenchmarkTable8' -benchmem -benchtime 20x . |
 	tee /dev/stderr |
 	awk '
 		/^Benchmark/ {
@@ -30,6 +34,8 @@ go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6|BenchmarkTable7' -benc
 				if (name ~ /Table6Observability\/profiled/) profiled = ns
 				if (name ~ /Table7Governance\/ungoverned/) ungoverned = ns
 				if (name ~ /Table7Governance\/zero-limits/) zerolimits = ns
+				if (name ~ /Table8Incremental\/64KB\/line\/full/) incfull = ns
+				if (name ~ /Table8Incremental\/64KB\/line\/incremental/) increparse = ns
 			}
 		}
 		END {
@@ -39,11 +45,13 @@ go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6|BenchmarkTable7' -benc
 			# the output so the steady-state improvement is self-contained.
 			rows[++n] = "  {\"name\": \"seed/BenchmarkTable3Engines/size=40KB/optimized\", \"ns_per_op\": 29625281, \"bytes_per_op\": 9188320, \"allocs_per_op\": 144713}"
 			# Derived rows: time ratios scaled by 1000 to fit the integer
-			# ns_per_op field (1730 = 1.73x overhead).
+			# ns_per_op field (1730 = 1.73x overhead; 12000 = 12x speedup).
 			if (disabled != "" && profiled != "")
 				rows[++n] = sprintf("  {\"name\": \"derived/profiler-overhead-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (profiled / disabled) * 1000)
 			if (ungoverned != "" && zerolimits != "")
 				rows[++n] = sprintf("  {\"name\": \"derived/governance-overhead-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (zerolimits / ungoverned) * 1000)
+			if (incfull != "" && increparse != "")
+				rows[++n] = sprintf("  {\"name\": \"derived/incremental-speedup-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (incfull / increparse) * 1000)
 			print "["
 			for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
 			print "]"
