@@ -11,12 +11,13 @@ test:
 verify:
 	sh scripts/verify.sh
 
-# Session-residency, observability-overhead, and resource-governance
-# benchmarks; writes BENCH_4.json.
+# Session-residency, observability-overhead, resource-governance,
+# incremental-reparse, and telemetry-overhead benchmarks; writes
+# BENCH_5.json.
 bench:
 	sh scripts/bench.sh
 
-# Gate on the allocation canary in a bench JSON (default BENCH_4.json):
+# Gate on the allocation canary in a bench JSON (default BENCH_5.json):
 # the void-grammar steady state must stay at exactly 0 allocs/op.
 bench-check:
 	sh scripts/bench_check.sh

@@ -20,6 +20,7 @@ import (
 	"modpeg/internal/core"
 	"modpeg/internal/grammars"
 	"modpeg/internal/peg"
+	"modpeg/internal/telemetry"
 	"modpeg/internal/text"
 	"modpeg/internal/transform"
 	"modpeg/internal/vm"
@@ -637,4 +638,61 @@ func BenchmarkTable8Incremental(b *testing.B) {
 			})
 		}
 	}
+}
+
+// ---------------------------------------------------------------- Table 9
+//
+// Telemetry-pipeline overhead: the same governed parse with the metrics
+// registry disabled ("bare"), with the default registry + latency/input
+// histograms + per-grammar counters ("metrics"), and with the Chrome
+// trace-event exporter installed as a ParseHook ("traced"). The
+// acceptance bound is the metrics row within ~5% of bare;
+// scripts/bench.sh records the family (and the derived overhead ratio)
+// in BENCH_5.json.
+
+func BenchmarkTable9Telemetry(b *testing.B) {
+	input := workload.Expression(workload.Config{Seed: 9, Size: 40 * 1024})
+	src := text.NewSource("bench", input)
+	prog := mustProgram(b, grammars.CalcFull, transform.Defaults(), vm.Optimized())
+
+	b.Run("bare", func(b *testing.B) {
+		prev := vm.SetTelemetry(false)
+		defer vm.SetTelemetry(prev)
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := prog.Parse(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		prev := vm.SetTelemetry(true)
+		defer vm.SetTelemetry(prev)
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := prog.Parse(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		prev := vm.SetTelemetry(true)
+		defer vm.SetTelemetry(prev)
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := telemetry.NewTrace(prog, io.Discard)
+			if _, _, err := prog.ParseWithHook(src, tr); err != nil {
+				b.Fatal(err)
+			}
+			if err := tr.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

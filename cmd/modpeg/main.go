@@ -10,6 +10,7 @@
 //	modpeg check   [-d dir] <top-module>
 //	modpeg parse   [-d dir] [-indent] [-stats] [-timeout d] [-max-memo n] <top-module> [file]
 //	modpeg generate [-d dir] [-pkg name] [-o file] <top-module>
+//	modpeg serve   [-addr host:port] [-grammars a,b] [-timeout d] [...]
 package main
 
 import (
@@ -17,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"modpeg"
@@ -28,6 +32,7 @@ import (
 	"modpeg/internal/experiments"
 	"modpeg/internal/grammars"
 	"modpeg/internal/peg"
+	"modpeg/internal/serve"
 	"modpeg/internal/syntax"
 	"modpeg/internal/vm"
 	"modpeg/internal/workload"
@@ -61,6 +66,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdGenerate(rest, stdout)
 	case "experiment":
 		err = cmdExperiment(rest, stdout)
+	case "serve":
+		err = cmdServe(rest, stderr)
 	case "fmt":
 		err = cmdFmt(rest, stdin, stdout)
 	case "help", "-h", "--help":
@@ -87,18 +94,25 @@ commands:
   print    [-d dir] [-optimized] <top>
                                    print the composed grammar
   check    [-d dir] <top>          compose and run the static checks
-  parse    [-d dir] [-indent] [-stats] [-profile] [-timeout d] [-max-memo n]
-           [-max-depth n] [-strict] [-incremental -edits script] <top> [file]
+  parse    [-d dir] [-indent] [-stats] [-profile] [-trace-json file] [-timeout d]
+           [-max-memo n] [-max-depth n] [-strict] [-incremental -edits script]
+           <top> [file]
                                    parse a file (or stdin) and print the AST,
-                                   optionally under resource limits or through
-                                   an incremental edit script
-  profile  [-d dir] [-n reps] [-top n] [-json] [-metrics] [-gen kb] <top> [file]
+                                   optionally under resource limits, through
+                                   an incremental edit script, or exporting a
+                                   Chrome trace-event file
+  profile  [-d dir] [-n reps] [-top n] [-json] [-metrics] [-trace-json file]
+           [-gen kb] <top> [file]
                                    profile parses of a file (or stdin, or a
                                    generated corpus) per production
   generate [-d dir] [-pkg p] [-o file] <top>
                                    emit a standalone Go parser
-  experiment [-kb n] [-mintime d] <table1..table5|table7|table8|limits|fig1..fig3|hotprods|all>
+  experiment [-kb n] [-mintime d] <table1..table5|table7..table9|limits|fig1..fig3|hotprods|all>
                                    run the paper-reproduction experiments
+  serve    [-addr host:port] [-grammars a,b] [-d dir] [-timeout d] [-max-input n]
+           [-max-memo n] [-max-depth n] [-strict] [-max-body n] [-pprof] [-quiet]
+                                   run the HTTP parse service: POST /parse,
+                                   GET /metrics (Prometheus), /healthz, /readyz
   fmt      [-w] [file...]          reformat .mpeg module files (stdin without args)
 `)
 }
@@ -230,6 +244,7 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 	asJSON := fs.Bool("json", false, "print the AST as JSON")
 	withStats := fs.Bool("stats", false, "print engine statistics")
 	withTrace := fs.Bool("trace", false, "stream a production-call trace before the AST")
+	traceJSON := fs.String("trace-json", "", "write a Chrome trace-event (Perfetto) JSON file of the parse")
 	withProfile := fs.Bool("profile", false, "print the top-10 hot productions after the AST")
 	timeout := fs.Duration("timeout", 0, "abort the parse after this wall-clock duration (0 = unlimited)")
 	maxMemo := fs.Int("max-memo", 0, "memo-table budget in bytes; the engine sheds memoization past it (0 = unlimited)")
@@ -239,7 +254,7 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 	editsPath := fs.String("edits", "", "edit script for -incremental: lines \"@off oldLen [\\\"text\\\"]\", blank-line-separated batches")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
-		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] [-profile] [-timeout d] [-max-memo n] [-max-depth n] [-strict] [-incremental -edits script] <top-module> [file]")
+		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] [-profile] [-trace-json file] [-timeout d] [-max-memo n] [-max-depth n] [-strict] [-incremental -edits script] <top-module> [file]")
 	}
 	p, err := modpeg.New(fs.Arg(0), moduleOpts(*dir)...)
 	if err != nil {
@@ -270,8 +285,8 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 		if *editsPath == "" {
 			return fmt.Errorf("parse: -incremental requires -edits <script>")
 		}
-		if *withTrace || *withProfile || governed {
-			return fmt.Errorf("parse: -incremental is mutually exclusive with -trace, -profile, and resource limits")
+		if *withTrace || *withProfile || *traceJSON != "" || governed {
+			return fmt.Errorf("parse: -incremental is mutually exclusive with -trace, -profile, -trace-json, and resource limits")
 		}
 		return parseIncremental(p, name, string(input), *editsPath, w, *withStats, *indent, *asJSON)
 	}
@@ -282,7 +297,26 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 	var v modpeg.Value
 	var stats modpeg.ParseStats
 	var prof *modpeg.Profile
+	var trace *modpeg.TraceExporter
 	switch {
+	case *traceJSON != "":
+		if *withTrace || *withProfile {
+			return fmt.Errorf("parse: -trace-json is mutually exclusive with -trace and -profile")
+		}
+		f, ferr := os.Create(*traceJSON)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		trace = p.NewTraceJSON(f)
+		if governed {
+			v, stats, err = p.ParseContextWithHook(context.Background(), name, string(input), lim, trace)
+		} else {
+			v, stats, err = p.ParseWithHook(name, string(input), trace)
+		}
+		if cerr := trace.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	case *withTrace:
 		v, err = p.ParseWithTrace(name, string(input), w)
 	case *withProfile:
@@ -313,11 +347,31 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 	if *withStats {
 		fmt.Fprintf(w, "stats: %s\n", stats)
 	}
+	if trace != nil {
+		fmt.Fprintf(w, "trace: %d events written to %s\n", trace.Events(), *traceJSON)
+	}
 	if prof != nil {
 		fmt.Fprintf(w, "\nhot productions:\n%s", prof.Report(10))
 	}
 	return nil
 }
+
+// teeHook fans one parse's hook events out to two hooks — how
+// `profile -trace-json` profiles and trace-exports the same parses.
+type teeHook struct {
+	a, b modpeg.ParseHook
+}
+
+func (t teeHook) OnEnter(prod, pos int) { t.a.OnEnter(prod, pos); t.b.OnEnter(prod, pos) }
+func (t teeHook) OnExit(prod, pos, end int, ok bool) {
+	t.a.OnExit(prod, pos, end, ok)
+	t.b.OnExit(prod, pos, end, ok)
+}
+func (t teeHook) OnMemoHit(prod, pos, end int, ok bool) {
+	t.a.OnMemoHit(prod, pos, end, ok)
+	t.b.OnMemoHit(prod, pos, end, ok)
+}
+func (t teeHook) OnFail(prod, pos int) { t.a.OnFail(prod, pos); t.b.OnFail(prod, pos) }
 
 // parseIncremental runs `parse -incremental -edits <script>`: the input
 // becomes an editable document, each batch of the edit script is applied
@@ -437,10 +491,11 @@ func cmdProfile(args []string, stdin io.Reader, w io.Writer) error {
 	top := fs.Int("top", 0, "limit the table to the top n productions (0 = all active)")
 	asJSON := fs.Bool("json", false, "emit the profile as JSON")
 	withMetrics := fs.Bool("metrics", false, "also print the engine metrics registry snapshot")
+	traceJSON := fs.String("trace-json", "", "also write a Chrome trace-event (Perfetto) JSON file of the profiled parses")
 	genKB := fs.Int("gen", 0, "profile a generated synthetic corpus of this many KB instead of reading input")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
-		return fmt.Errorf("usage: modpeg profile [-d dir] [-n reps] [-top n] [-json] [-metrics] [-gen kb] <top-module> [file]")
+		return fmt.Errorf("usage: modpeg profile [-d dir] [-n reps] [-top n] [-json] [-metrics] [-trace-json file] [-gen kb] <top-module> [file]")
 	}
 	if *reps < 1 {
 		return fmt.Errorf("profile: -n must be at least 1")
@@ -474,23 +529,38 @@ func cmdProfile(args []string, stdin io.Reader, w io.Writer) error {
 		return err
 	}
 
-	var total modpeg.Profile
+	profiler := p.NewProfiler()
+	var hook modpeg.ParseHook = profiler
+	var trace *modpeg.TraceExporter
+	if *traceJSON != "" {
+		f, ferr := os.Create(*traceJSON)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		trace = p.NewTraceJSON(f)
+		hook = teeHook{profiler, trace}
+	}
 	var stats modpeg.ParseStats
 	for i := 0; i < *reps; i++ {
-		_, st, prof, err := p.ParseWithProfile(name, string(input))
+		_, st, err := p.ParseWithHook(name, string(input), hook)
 		if err != nil {
+			if trace != nil {
+				trace.Close()
+			}
 			if pe, ok := err.(*vm.ParseError); ok {
 				return fmt.Errorf("%s", pe.Detail())
 			}
 			return err
 		}
 		stats.Add(st)
-		if i == 0 {
-			total = *prof
-		} else {
-			total.Add(prof)
+	}
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			return err
 		}
 	}
+	total := *profiler.Profile()
 
 	if *asJSON {
 		out, err := total.JSON()
@@ -502,6 +572,9 @@ func cmdProfile(args []string, stdin io.Reader, w io.Writer) error {
 		fmt.Fprintf(w, "profile: %s, %d parse(s) of %s (%d bytes)\n\n", top_, *reps, name, len(input))
 		fmt.Fprint(w, total.Report(*top))
 		fmt.Fprintf(w, "\nstats: %s\n", stats)
+		if trace != nil {
+			fmt.Fprintf(w, "trace: %d events written to %s\n", trace.Events(), *traceJSON)
+		}
 	}
 	if *withMetrics {
 		out, err := modpeg.Metrics().JSON()
@@ -594,13 +667,67 @@ func cmdFmt(args []string, stdin io.Reader, w io.Writer) error {
 	return nil
 }
 
+// cmdServe runs the HTTP parse service until SIGTERM/SIGINT, then
+// drains in-flight requests and exits.
+func cmdServe(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8317", "listen address")
+	dir := fs.String("d", "", "module directory")
+	grammarList := fs.String("grammars", "", "comma-separated top modules to serve (default: all bundled)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request parse deadline (0 = unlimited)")
+	maxInput := fs.Int("max-input", 4<<20, "per-request input-size limit in bytes (0 = unlimited)")
+	maxMemo := fs.Int("max-memo", 64<<20, "per-request memo-table budget in bytes (0 = unlimited)")
+	maxDepth := fs.Int("max-depth", 100000, "per-request production-call depth limit (0 = unlimited)")
+	strict := fs.Bool("strict", false, "fail requests that hit the memo budget instead of shedding memoization")
+	maxBody := fs.Int64("max-body", 0, "request-body cap in bytes (0 = 8 MiB)")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	quiet := fs.Bool("quiet", false, "disable structured request and parse logging")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
+		return fmt.Errorf("usage: modpeg serve [-addr host:port] [-grammars a,b] [-d dir] [-timeout d] [-max-input n] [-max-memo n] [-max-depth n] [-strict] [-max-body n] [-pprof] [-quiet]")
+	}
+	served := modpeg.BundledGrammars()
+	if *grammarList != "" {
+		served = nil
+		for _, g := range strings.Split(*grammarList, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				served = append(served, g)
+			}
+		}
+	}
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	s, err := serve.New(serve.Config{
+		Grammars:  served,
+		ModuleDir: *dir,
+		Limits: modpeg.Limits{
+			MaxInputBytes:    *maxInput,
+			MaxMemoBytes:     *maxMemo,
+			MaxCallDepth:     *maxDepth,
+			MaxParseDuration: *timeout,
+			Strict:           *strict,
+		},
+		MaxBodyBytes: *maxBody,
+		Logger:       logger,
+		EnablePprof:  *pprofFlag,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return s.ListenAndServe(ctx, *addr)
+}
+
 func cmdExperiment(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	kb := fs.Int("kb", 40, "corpus size in KB for throughput experiments")
 	minTime := fs.Duration("mintime", 300*time.Millisecond, "measurement window per configuration")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|table7|table8|limits|fig1..fig3|hotprods|all>")
+		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|table7..table9|limits|fig1..fig3|hotprods|all>")
 	}
 	opts := experiments.Options{InputKB: *kb, MinTime: *minTime}
 	if fs.Arg(0) == "all" {

@@ -397,3 +397,117 @@ func TestProfileCommandMetricsAndErrors(t *testing.T) {
 		t.Fatalf("syntax error must fail: code=%d err=%q", code, errb)
 	}
 }
+
+// writeTinyModule drops the two-production trace-test grammar into a
+// temp module dir and returns the dir.
+func writeTinyModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	src := "module tiny;\npublic A = B B !. ;\npublic B = \"x\" ;\noption root = A;\n"
+	if err := os.WriteFile(filepath.Join(dir, "tiny.mpeg"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// traceShape loads a Chrome trace-event file and projects each event to
+// "ph name" — the timestamp-free golden shape of the trace.
+func traceShape(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v\n%s", err, data)
+	}
+	shape := make([]string, 0, len(events))
+	for _, e := range events {
+		ph, _ := e["ph"].(string)
+		name, _ := e["name"].(string)
+		shape = append(shape, ph+" "+name)
+	}
+	return shape
+}
+
+func TestParseTraceJSON(t *testing.T) {
+	dir := writeTinyModule(t)
+	out := filepath.Join(t.TempDir(), "trace.json")
+	stdout, errb, code := runCmd(t, "xx", "parse", "-d", dir, "-trace-json", out, "tiny")
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errb)
+	}
+	if !strings.Contains(stdout, "trace:") || !strings.Contains(stdout, out) {
+		t.Errorf("missing trace summary in output:\n%s", stdout)
+	}
+	// The tiny grammar's trace shape is a golden: the default optimizer
+	// inlines B, leaving the metadata record plus the root span.
+	want := []string{"M process_name", "B tiny.A", "E tiny.A"}
+	got := traceShape(t, out)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("trace shape = %v, want %v", got, want)
+	}
+}
+
+func TestParseTraceJSONGoverned(t *testing.T) {
+	dir := writeTinyModule(t)
+	out := filepath.Join(t.TempDir(), "trace.json")
+	_, errb, code := runCmd(t, "xx", "parse", "-d", dir, "-trace-json", out, "-max-depth", "64", "tiny")
+	if code != 0 {
+		t.Fatalf("governed trace-json: code=%d err=%q", code, errb)
+	}
+	if got := traceShape(t, out); len(got) == 0 || got[0] != "M process_name" {
+		t.Errorf("governed trace shape = %v", got)
+	}
+	if _, errb, code := runCmd(t, "xx", "parse", "-d", dir, "-trace-json", out, "-trace", "tiny"); code != 1 || !strings.Contains(errb, "mutually exclusive") {
+		t.Errorf("-trace-json with -trace must fail: code=%d err=%q", code, errb)
+	}
+}
+
+func TestProfileTraceJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	stdout, errb, code := runCmd(t, "1+2*3", "profile", "-n", "2", "-trace-json", out, "calc.core")
+	if code != 0 {
+		t.Fatalf("code=%d err=%q", code, errb)
+	}
+	if !strings.Contains(stdout, "trace:") {
+		t.Errorf("missing trace summary:\n%s", stdout)
+	}
+	shape := traceShape(t, out)
+	if len(shape) < 3 || shape[0] != "M process_name" {
+		t.Errorf("trace shape = %v", shape)
+	}
+	// Two profiled reps both land in the one trace: the root span must
+	// appear twice.
+	roots := 0
+	for _, s := range shape {
+		if strings.HasPrefix(s, "B calc.core.") {
+			roots++
+		}
+	}
+	if roots < 2 {
+		t.Errorf("expected spans from both reps, shape = %v", shape)
+	}
+}
+
+func TestProfileMetricsHistograms(t *testing.T) {
+	out, _, code := runCmd(t, "1+2", "profile", "-metrics", "calc.core")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	for _, frag := range []string{`"parse_duration_ns"`, `"parse_input_bytes"`, `"buckets"`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("profile -metrics output missing %q", frag)
+		}
+	}
+}
+
+func TestServeUsageErrors(t *testing.T) {
+	if _, errb, code := runCmd(t, "", "serve", "extra-arg"); code != 1 || !strings.Contains(errb, "usage: modpeg serve") {
+		t.Fatalf("extra arg: code=%d err=%q", code, errb)
+	}
+	if _, errb, code := runCmd(t, "", "serve", "-grammars", "no.such.module", "-addr", "127.0.0.1:0"); code != 1 || !strings.Contains(errb, "no.such.module") {
+		t.Fatalf("bad grammar: code=%d err=%q", code, errb)
+	}
+}

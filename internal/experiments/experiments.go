@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"modpeg/internal/grammars"
 	"modpeg/internal/peg"
 	"modpeg/internal/syntax"
+	"modpeg/internal/telemetry"
 	"modpeg/internal/text"
 	"modpeg/internal/transform"
 	"modpeg/internal/vm"
@@ -105,7 +107,8 @@ func (t Table) Render() string {
 func All(opts Options) []Table {
 	return []Table{
 		Table1(), Table2(opts), Table3(opts), Table4(opts), Table5(opts),
-		Table7(opts), Table8(opts), Fig1(opts), Fig2(opts), Fig3(opts), HotProds(opts),
+		Table7(opts), Table8(opts), Table9(opts),
+		Fig1(opts), Fig2(opts), Fig3(opts), HotProds(opts),
 	}
 }
 
@@ -127,6 +130,8 @@ func ByID(id string, opts Options) (Table, error) {
 		return Table7(opts), nil
 	case "table8", "incremental":
 		return Table8(opts), nil
+	case "table9", "telemetry":
+		return Table9(opts), nil
 	case "fig1":
 		return Fig1(opts), nil
 	case "fig2":
@@ -905,5 +910,68 @@ func Table8(opts Options) Table {
 	}
 	t.Notes = append(t.Notes,
 		"incremental = mean of an insert/inverse-delete pair on a warm document; counters from the insert")
+	return t
+}
+
+// ---------------------------------------------------------------- table9
+
+// Table9 quantifies the telemetry pipeline's overhead: bare governed
+// stats with the metrics registry disabled, the default configuration
+// (registry counters + latency/input histograms + per-grammar
+// counters), and full Chrome trace-event export through a ParseHook.
+func Table9(opts Options) Table {
+	opts = opts.normalized()
+	t := Table{
+		ID:    "Table 9",
+		Title: "telemetry overhead: bare stats vs metrics+histograms vs trace export",
+		Header: []string{"grammar", "inputKB", "bare", "metrics", "traced",
+			"metrics-over", "trace-over"},
+	}
+	prev := vm.SetTelemetry(true)
+	defer vm.SetTelemetry(prev)
+	for _, cfg := range []struct {
+		top string
+		gen func(workload.Config) string
+	}{
+		{grammars.CalcFull, workload.Expression},
+		{grammars.JSON, workload.JSONDoc},
+	} {
+		prog, err := buildProgram(cfg.top, transform.Defaults(), vm.Optimized())
+		if err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			continue
+		}
+		input := cfg.gen(workload.Config{Seed: 9, Size: opts.InputKB * 1024})
+		src := text.NewSource("bench", input)
+		if _, _, err := prog.Parse(src); err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %v", cfg.top, err))
+			continue
+		}
+
+		vm.SetTelemetry(false)
+		bare := measure(opts.MinTime, func() { prog.Parse(src) })
+		vm.SetTelemetry(true)
+		withMetrics := measure(opts.MinTime, func() { prog.Parse(src) })
+		traced := measure(opts.MinTime, func() {
+			tr := telemetry.NewTrace(prog, io.Discard)
+			prog.ParseWithHook(src, tr)
+			tr.Close()
+		})
+
+		over := func(base, d time.Duration) string {
+			return fmt.Sprintf("%+.1f%%", (float64(d)-float64(base))/float64(base)*100)
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg.top,
+			fmt.Sprint(len(input) / 1024),
+			bare.Round(time.Microsecond).String(),
+			withMetrics.Round(time.Microsecond).String(),
+			traced.Round(time.Microsecond).String(),
+			over(bare, withMetrics),
+			over(bare, traced),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"bare = SetTelemetry(false); metrics = default registry+histograms; traced = Chrome trace-event hook to io.Discard")
 	return t
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"modpeg/internal/vm"
 )
 
 // fast returns options tuned for test speed (tiny corpora, minimal
@@ -169,13 +171,13 @@ func TestByIDAndAll(t *testing.T) {
 	if err != nil || tbl.ID != "Table 1" {
 		t.Fatalf("ByID: %v", err)
 	}
-	for _, id := range []string{"table2", "table3", "table4", "table5", "table7", "limits", "table8", "incremental", "fig1", "fig2", "fig3", "hotprods"} {
+	for _, id := range []string{"table2", "table3", "table4", "table5", "table7", "limits", "table8", "incremental", "table9", "telemetry", "fig1", "fig2", "fig3", "hotprods"} {
 		if _, err := ByID(id, Options{InputKB: 2, MinTime: time.Millisecond}); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 	}
-	// All with minimal settings must produce 11 tables.
-	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 11 {
+	// All with minimal settings must produce 12 tables.
+	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 12 {
 		t.Fatalf("All = %d tables", len(got))
 	}
 }
@@ -256,6 +258,24 @@ func TestTable8Shapes(t *testing.T) {
 		fmt.Sscan(row[7], &relocated)
 		if relocated == 0 {
 			t.Errorf("%s KB / %s: no entries relocated — reuse machinery idle", row[0], row[1])
+		}
+	}
+}
+
+func TestTable9Shapes(t *testing.T) {
+	tbl := Table9(fast())
+	if tbl.ID != "Table 9" || len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d: %v", len(tbl.Rows), tbl.Notes)
+	}
+	if !vm.TelemetryEnabled() {
+		t.Error("Table9 left the telemetry registry disabled")
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range []string{row[5], row[6]} {
+			var pct float64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(cell, "+"), "%f%%", &pct); err != nil {
+				t.Fatalf("overhead cell %q: %v", cell, err)
+			}
 		}
 	}
 }

@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"modpeg"
+	"modpeg/internal/workload"
+)
+
+func testServer(t *testing.T, cfg Config) http.Handler {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Handler()
+}
+
+func postParse(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/parse", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder) ErrorResponse {
+	t.Helper()
+	var e ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	return e
+}
+
+func TestParseSuccess(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	rec := postParse(t, h, `{"grammar":"calc.core","input":"1+2*3"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+	var resp ParseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if resp.Grammar != "calc.core" || len(resp.Value) == 0 {
+		t.Errorf("response = %+v", resp)
+	}
+	if resp.Stats.Calls <= 0 || resp.Stats.MaxPos != 5 {
+		t.Errorf("stats = %+v", resp.Stats)
+	}
+	if resp.DurationNS <= 0 {
+		t.Errorf("duration_ns = %d", resp.DurationNS)
+	}
+	if resp.Profile != nil {
+		t.Errorf("unrequested profile present")
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	rec := postParse(t, h, `{"grammar":"calc.core","input":"1+2*(3-4)","profile":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ParseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	var prof struct {
+		TotalCalls  int64            `json:"total_calls"`
+		Productions []map[string]any `json:"productions"`
+	}
+	if err := json.Unmarshal(resp.Profile, &prof); err != nil {
+		t.Fatalf("profile not JSON: %v", err)
+	}
+	if prof.TotalCalls <= 0 || len(prof.Productions) == 0 {
+		t.Errorf("profile = %+v", prof)
+	}
+}
+
+func TestParseSyntaxError(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	rec := postParse(t, h, `{"grammar":"calc.core","input":"1+","name":"doc.txt"}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", rec.Code, rec.Body.String())
+	}
+	e := decodeError(t, rec)
+	if e.Error != "syntax" {
+		t.Errorf("error kind %q", e.Error)
+	}
+	if len(e.Expected) == 0 {
+		t.Errorf("expected set not passed through: %+v", e)
+	}
+	if e.Location == nil || e.Location.File != "doc.txt" || e.Location.Line != 1 ||
+		e.Location.Offset != 2 {
+		t.Errorf("location = %+v", e.Location)
+	}
+}
+
+func TestParseLimitBreaches(t *testing.T) {
+	h := testServer(t, Config{
+		Grammars: []string{"calc.core"},
+		Limits:   modpeg.Limits{MaxInputBytes: 16, MaxCallDepth: 8},
+	})
+
+	rec := postParse(t, h, `{"grammar":"calc.core","input":"1+1+1+1+1+1+1+1+1+1+1+1"}`)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("input breach status %d, want 413: %s", rec.Code, rec.Body.String())
+	}
+	if e := decodeError(t, rec); e.Error != "limit" || e.Kind != "input-bytes" {
+		t.Errorf("input breach body = %+v", e)
+	}
+
+	rec = postParse(t, h, `{"grammar":"calc.core","input":"((((((1))))))"}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("depth breach status %d, want 422: %s", rec.Code, rec.Body.String())
+	}
+	if e := decodeError(t, rec); e.Error != "limit" || e.Kind != "call-depth" {
+		t.Errorf("depth breach body = %+v", e)
+	}
+
+	// A request can tighten the server budget but not exceed it.
+	rec = postParse(t, h, `{"grammar":"calc.core","input":"1+2","max_input_bytes":2}`)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("request-tightened limit ignored: %d", rec.Code)
+	}
+	rec = postParse(t, h, `{"grammar":"calc.core","input":"1+1+1+1+1+1+1+1+1","max_input_bytes":4096}`)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("request loosened the server limit: %d", rec.Code)
+	}
+}
+
+func TestParseBadRequests(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+
+	rec := postParse(t, h, `{not json`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON status %d", rec.Code)
+	}
+	rec = postParse(t, h, `{"input":"1"}`)
+	if rec.Code != http.StatusBadRequest || decodeError(t, rec).Error != "bad-request" {
+		t.Errorf("missing grammar status %d", rec.Code)
+	}
+	rec = postParse(t, h, `{"grammar":"json.value","input":"[1]"}`)
+	if rec.Code != http.StatusBadRequest || decodeError(t, rec).Error != "unknown-grammar" {
+		t.Errorf("unserved grammar status %d: %s", rec.Code, rec.Body.String())
+	}
+	rec = postParse(t, h, `{"grammar":"calc.core","production":"calc.core.NoSuchProd","input":"1"}`)
+	if rec.Code != http.StatusBadRequest || decodeError(t, rec).Error != "unknown-grammar" {
+		t.Errorf("bad production status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/parse", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /parse status %d", rec.Code)
+	}
+
+	small, err := New(Config{Grammars: []string{"calc.core"}, MaxBodyBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = postParse(t, small.Handler(), `{"grammar":"calc.core","input":"`+strings.Repeat("1", 100)+`"}`)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status %d", rec.Code)
+	}
+}
+
+func TestParseProductionOverride(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	// Parsing from an inner production both exercises WithRoot and
+	// proves the cache keys on (grammar, production).
+	rec := postParse(t, h, `{"grammar":"calc.core","production":"calc.core.Atom","input":"42"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ParseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Production != "calc.core.Atom" {
+		t.Errorf("production = %q", resp.Production)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	modpeg.ResetMetrics()
+	defer modpeg.ResetMetrics()
+	postParse(t, h, `{"grammar":"calc.core","input":"1+2"}`)
+	postParse(t, h, `{"grammar":"calc.core","input":"1+"}`)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		"modpeg_parses_started_total 2",
+		"# TYPE modpeg_parse_duration_seconds histogram",
+		`modpeg_parse_duration_seconds_bucket{le="+Inf"} 2`,
+		`modpeg_grammar_parses_total{grammar="calc.core",outcome="completed"} 1`,
+		`modpeg_grammar_parses_total{grammar="calc.core",outcome="failed"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestHealthAndReady(t *testing.T) {
+	s, err := New(Config{Grammars: []string{"calc.core"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	for _, path := range []string{"/healthz", "/readyz"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s status %d", path, rec.Code)
+		}
+	}
+	s.ready.Store(false)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining /readyz status %d", rec.Code)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	plain := testServer(t, Config{Grammars: []string{"calc.core"}})
+	rec := httptest.NewRecorder()
+	plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("pprof reachable without EnablePprof: %d", rec.Code)
+	}
+	enabled := testServer(t, Config{Grammars: []string{"calc.core"}, EnablePprof: true})
+	rec = httptest.NewRecorder()
+	enabled.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof index status %d", rec.Code)
+	}
+}
+
+func TestBadGrammarFailsFast(t *testing.T) {
+	if _, err := New(Config{Grammars: []string{"no.such.module"}}); err == nil {
+		t.Fatal("New accepted a nonexistent grammar")
+	}
+}
+
+// TestServeGracefulShutdown runs the real listener path: requests
+// succeed, then canceling the context drains the server and Serve
+// returns.
+func TestServeGracefulShutdown(t *testing.T) {
+	s, err := New(Config{Grammars: []string{"calc.core"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Post(base+"/parse", "application/json",
+		strings.NewReader(`{"grammar":"calc.core","input":"1+2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live /parse status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	if s.ready.Load() {
+		t.Error("ready flag still set after shutdown")
+	}
+}
+
+// TestConcurrentAdversarial hammers one server from many goroutines
+// with the adversarial corpus under tight budgets; run with -race this
+// checks the pooled-parser path and the limit plumbing for data races.
+func TestConcurrentAdversarial(t *testing.T) {
+	h := testServer(t, Config{
+		Grammars: []string{"calc.full", "json.value"},
+		Limits: modpeg.Limits{
+			MaxInputBytes:    1 << 20,
+			MaxMemoBytes:     1 << 20,
+			MaxCallDepth:     200,
+			MaxParseDuration: 250 * time.Millisecond,
+		},
+	})
+	var corpus []workload.AdversarialInput
+	for _, in := range workload.AdversarialCorpus(400, 1<<12) {
+		if in.Module == "path" { // not a bundled module; served grammars only
+			continue
+		}
+		corpus = append(corpus, in)
+	}
+	if len(corpus) < 3 {
+		t.Fatalf("corpus too small: %d", len(corpus))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				in := corpus[(w+i)%len(corpus)]
+				body, _ := json.Marshal(ParseRequest{
+					Grammar: in.Module, Input: in.Input, Name: in.Name,
+				})
+				req := httptest.NewRequest(http.MethodPost, "/parse", strings.NewReader(string(body)))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				switch rec.Code {
+				case http.StatusOK, http.StatusUnprocessableEntity,
+					http.StatusRequestEntityTooLarge, http.StatusRequestTimeout:
+				default:
+					t.Errorf("%s: unexpected status %d: %s", in.Name, rec.Code, rec.Body.String())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,451 @@
+// Package serve implements the modpeg parse service: an HTTP server
+// exposing the engine's parsers behind POST /parse, the telemetry
+// registry behind GET /metrics (Prometheus text exposition), liveness
+// and readiness probes, and optional net/http/pprof handlers.
+//
+// Every request runs under the governed-parse machinery: per-request
+// Limits (server defaults tightened by request overrides) plus the
+// request context's cancellation, so a slow client disconnect or a
+// pathological input can never pin a worker. Parsers are compiled once
+// per (grammar, production) pair and reused across requests; the
+// underlying vm pool makes concurrent parses on one parser cheap.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modpeg"
+	"modpeg/internal/telemetry"
+)
+
+// DefaultMaxBodyBytes caps the request body when Config.MaxBodyBytes
+// is zero. The parse input rides inside a JSON string, so the body cap
+// should sit above the input-byte limit.
+const DefaultMaxBodyBytes = 8 << 20
+
+// shutdownGrace bounds how long Serve waits for in-flight requests
+// after its context is canceled.
+const shutdownGrace = 10 * time.Second
+
+// Config describes a parse service.
+type Config struct {
+	// Grammars lists the top modules the service accepts. Every entry
+	// is compiled at construction (so a bad grammar fails fast, before
+	// the listener opens) and requests for any other grammar are
+	// rejected. Empty means: accept any grammar the resolver can load,
+	// compiled lazily on first use.
+	Grammars []string
+	// ModuleDir adds a directory of .mpeg modules to the resolver, in
+	// front of the bundled grammars.
+	ModuleDir string
+	// Limits are the per-request parse budgets. A request may tighten
+	// them but never exceed them.
+	Limits modpeg.Limits
+	// MaxBodyBytes caps the request body; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// Logger receives one structured record per HTTP request and one
+	// per parse. Nil disables logging.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// Server is a parse service. Create one with New, expose it with
+// Handler (for tests or custom servers) or Serve / ListenAndServe.
+type Server struct {
+	cfg     Config
+	allowed map[string]bool // non-nil iff cfg.Grammars was non-empty
+
+	mu      sync.Mutex
+	parsers map[parserKey]*modpeg.Parser
+
+	ready atomic.Bool
+}
+
+type parserKey struct {
+	grammar    string
+	production string
+}
+
+// New builds a Server, compiling every configured grammar up front.
+func New(cfg Config) (*Server, error) {
+	s := &Server{cfg: cfg, parsers: make(map[parserKey]*modpeg.Parser)}
+	if len(cfg.Grammars) > 0 {
+		s.allowed = make(map[string]bool, len(cfg.Grammars))
+		for _, g := range cfg.Grammars {
+			s.allowed[g] = true
+		}
+		for _, g := range cfg.Grammars {
+			if _, err := s.parserFor(g, ""); err != nil {
+				return nil, fmt.Errorf("grammar %q: %w", g, err)
+			}
+		}
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// parserFor returns the cached parser for (grammar, production),
+// compiling it on first use.
+func (s *Server) parserFor(grammar, production string) (*modpeg.Parser, error) {
+	key := parserKey{grammar, production}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.parsers[key]; ok {
+		return p, nil
+	}
+	opts := []modpeg.Option{}
+	if s.cfg.ModuleDir != "" {
+		opts = append(opts, modpeg.WithModuleDir(s.cfg.ModuleDir))
+	}
+	if production != "" {
+		opts = append(opts, modpeg.WithRoot(production))
+	}
+	p, err := modpeg.New(grammar, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.parsers[key] = p
+	return p, nil
+}
+
+// Grammars returns the sorted grammar list the service accepts, or nil
+// when any resolvable grammar is accepted.
+func (s *Server) Grammars() []string {
+	if s.allowed == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.allowed))
+	for g := range s.allowed {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler returns the service's HTTP handler: POST /parse,
+// GET /metrics, GET /healthz, GET /readyz, and (when enabled)
+// /debug/pprof/. The whole mux is wrapped in the structured request
+// logger.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/parse", s.handleParse)
+	mux.Handle("/metrics", telemetry.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return telemetry.LogRequests(s.cfg.Logger, mux)
+}
+
+// Serve accepts connections on ln until ctx is canceled, then flips
+// /readyz to 503 and drains in-flight requests (bounded by
+// shutdownGrace) before returning.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.ready.Store(false)
+		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("listening", slog.String("addr", ln.Addr().String()))
+	}
+	return s.Serve(ctx, ln)
+}
+
+// ParseRequest is the POST /parse body.
+type ParseRequest struct {
+	// Grammar names the top module, e.g. "calc.core".
+	Grammar string `json:"grammar"`
+	// Production optionally overrides the start production (fully
+	// qualified, e.g. "calc.core.Sum"). Empty uses the grammar's root.
+	Production string `json:"production,omitempty"`
+	// Input is the text to parse.
+	Input string `json:"input"`
+	// Name labels the input in errors and logs (defaults to "request").
+	Name string `json:"name,omitempty"`
+	// Profile requests a per-production profile in the response.
+	Profile bool `json:"profile,omitempty"`
+
+	// Optional per-request budget overrides. Each tightens the server
+	// default; a request can never exceed the configured limit.
+	TimeoutMS     int `json:"timeout_ms,omitempty"`
+	MaxInputBytes int `json:"max_input_bytes,omitempty"`
+	MaxMemoBytes  int `json:"max_memo_bytes,omitempty"`
+	MaxCallDepth  int `json:"max_call_depth,omitempty"`
+}
+
+// ParseResponse is the POST /parse success body.
+type ParseResponse struct {
+	Grammar    string          `json:"grammar"`
+	Production string          `json:"production,omitempty"`
+	Value      json.RawMessage `json:"value"`
+	Stats      StatsJSON       `json:"stats"`
+	DurationNS int64           `json:"duration_ns"`
+	Profile    json.RawMessage `json:"profile,omitempty"`
+}
+
+// StatsJSON is the wire form of modpeg.ParseStats.
+type StatsJSON struct {
+	Calls         int `json:"calls"`
+	DispatchSkips int `json:"dispatch_skips"`
+	MemoHits      int `json:"memo_hits"`
+	MemoMisses    int `json:"memo_misses"`
+	MemoStores    int `json:"memo_stores"`
+	MemoBytes     int `json:"memo_bytes"`
+	MemoSheds     int `json:"memo_sheds,omitempty"`
+	MaxPos        int `json:"max_pos"`
+}
+
+func statsJSON(st modpeg.ParseStats) StatsJSON {
+	return StatsJSON{
+		Calls:         st.Calls,
+		DispatchSkips: st.DispatchSkips,
+		MemoHits:      st.MemoHits,
+		MemoMisses:    st.MemoMisses,
+		MemoStores:    st.MemoStores,
+		MemoBytes:     st.MemoBytes,
+		MemoSheds:     st.MemoSheds,
+		MaxPos:        st.MaxPos,
+	}
+}
+
+// ErrorResponse is the body of every non-2xx /parse response.
+type ErrorResponse struct {
+	// Error is the machine-readable kind: "bad-request",
+	// "unknown-grammar", "syntax", "limit", or "engine".
+	Error string `json:"error"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Kind names the exhausted budget for Error == "limit"
+	// ("input-bytes", "memo-bytes", "call-depth", "deadline",
+	// "canceled").
+	Kind string `json:"kind,omitempty"`
+	// Expected lists the terminals/productions a syntax error wanted.
+	Expected []string `json:"expected,omitempty"`
+	// Location pinpoints a syntax error.
+	Location *LocationJSON `json:"location,omitempty"`
+}
+
+// LocationJSON is the wire form of a source location.
+type LocationJSON struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Offset int    `json:"offset"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, resp ErrorResponse) {
+	writeJSON(w, status, resp)
+}
+
+// effectiveLimits merges the request's overrides into the server's
+// defaults. Overrides only tighten: min(server, request) for every
+// budget the request sets, where "unset server budget" means the
+// request value stands alone.
+func (s *Server) effectiveLimits(req *ParseRequest) modpeg.Limits {
+	lim := s.cfg.Limits
+	tighten := func(base, override int) int {
+		if override <= 0 {
+			return base
+		}
+		if base <= 0 || override < base {
+			return override
+		}
+		return base
+	}
+	lim.MaxInputBytes = tighten(lim.MaxInputBytes, req.MaxInputBytes)
+	lim.MaxMemoBytes = tighten(lim.MaxMemoBytes, req.MaxMemoBytes)
+	lim.MaxCallDepth = tighten(lim.MaxCallDepth, req.MaxCallDepth)
+	if req.TimeoutMS > 0 {
+		d := time.Duration(req.TimeoutMS) * time.Millisecond
+		if lim.MaxParseDuration <= 0 || d < lim.MaxParseDuration {
+			lim.MaxParseDuration = d
+		}
+	}
+	return lim
+}
+
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, ErrorResponse{
+			Error: "bad-request", Message: "POST required"})
+		return
+	}
+	maxBody := s.cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req ParseRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, ErrorResponse{
+			Error: "bad-request", Message: "invalid request body: " + err.Error()})
+		return
+	}
+	if req.Grammar == "" {
+		writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error: "bad-request", Message: "missing grammar"})
+		return
+	}
+	if s.allowed != nil && !s.allowed[req.Grammar] {
+		writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error: "unknown-grammar",
+			Message: fmt.Sprintf("grammar %q is not served (configured: %v)",
+				req.Grammar, s.Grammars())})
+		return
+	}
+	p, err := s.parserFor(req.Grammar, req.Production)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error: "unknown-grammar", Message: err.Error()})
+		return
+	}
+
+	name := req.Name
+	if name == "" {
+		name = "request"
+	}
+	lim := s.effectiveLimits(&req)
+
+	var (
+		val      modpeg.Value
+		st       modpeg.ParseStats
+		parseErr error
+		profiler *modpeg.Profiler
+	)
+	start := time.Now()
+	if req.Profile {
+		profiler = p.NewProfiler()
+		val, st, parseErr = p.ParseContextWithHook(r.Context(), name, req.Input, lim, profiler)
+	} else {
+		val, st, parseErr = p.ParseContextWithStats(r.Context(), name, req.Input, lim)
+	}
+	elapsed := time.Since(start)
+	telemetry.LogParse(s.cfg.Logger, p.Label(), name, len(req.Input), elapsed, st, parseErr)
+
+	if parseErr != nil {
+		s.writeParseError(w, parseErr)
+		return
+	}
+	valueJSON, err := modpeg.ValueToJSON(val)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrorResponse{
+			Error: "engine", Message: "value encoding failed: " + err.Error()})
+		return
+	}
+	resp := ParseResponse{
+		Grammar:    req.Grammar,
+		Production: req.Production,
+		Value:      json.RawMessage(valueJSON),
+		Stats:      statsJSON(st),
+		DurationNS: elapsed.Nanoseconds(),
+	}
+	if profiler != nil {
+		if pj, err := profiler.Profile().JSON(); err == nil {
+			resp.Profile = pj
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeParseError maps engine errors onto HTTP statuses: syntax errors
+// are 422 with the expected-set and location, input-size breaches 413,
+// deadline/cancellation 408, other budget breaches 422 with the limit
+// kind, and contained engine panics 500.
+func (s *Server) writeParseError(w http.ResponseWriter, err error) {
+	var pe *modpeg.ParseError
+	var le *modpeg.LimitError
+	var ee *modpeg.EngineError
+	switch {
+	case errors.As(err, &le):
+		status := http.StatusUnprocessableEntity
+		switch le.Kind {
+		case modpeg.LimitInput:
+			status = http.StatusRequestEntityTooLarge
+		case modpeg.LimitTime, modpeg.LimitCanceled:
+			status = http.StatusRequestTimeout
+		}
+		writeError(w, status, ErrorResponse{
+			Error: "limit", Kind: le.Kind.String(), Message: err.Error()})
+	case errors.As(err, &pe):
+		loc := pe.Src.Location(pe.Pos)
+		writeError(w, http.StatusUnprocessableEntity, ErrorResponse{
+			Error:    "syntax",
+			Message:  pe.Error(),
+			Expected: pe.Expected,
+			Location: &LocationJSON{
+				File:   loc.File,
+				Line:   loc.Line,
+				Column: loc.Column,
+				Offset: int(loc.Offset),
+			},
+		})
+	case errors.As(err, &ee):
+		writeError(w, http.StatusInternalServerError, ErrorResponse{
+			Error: "engine", Message: err.Error()})
+	default:
+		writeError(w, http.StatusInternalServerError, ErrorResponse{
+			Error: "engine", Message: err.Error()})
+	}
+}

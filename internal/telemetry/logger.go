@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"modpeg/internal/vm"
+)
+
+// Outcome classifies a parse error for logs and dashboards: "ok" (nil),
+// "syntax" (*vm.ParseError), "limit:<kind>" (*vm.LimitError, e.g.
+// "limit:deadline"), "engine" (*vm.EngineError), or "error" for
+// anything else.
+func Outcome(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var le *vm.LimitError
+	if errors.As(err, &le) {
+		return "limit:" + le.Kind.String()
+	}
+	var pe *vm.ParseError
+	if errors.As(err, &pe) {
+		return "syntax"
+	}
+	var ee *vm.EngineError
+	if errors.As(err, &ee) {
+		return "engine"
+	}
+	return "error"
+}
+
+// LogParse emits one structured record for a completed parse attempt.
+// Successful and syntax-rejected parses log at Info (a rejection is the
+// parser doing its job), limit stops at Warn (a client or budget
+// problem worth noticing), and engine errors at Error (an engine bug).
+func LogParse(log *slog.Logger, grammar, name string, inputBytes int, d time.Duration, stats vm.Stats, err error) {
+	if log == nil {
+		return
+	}
+	outcome := Outcome(err)
+	level := slog.LevelInfo
+	var le *vm.LimitError
+	var ee *vm.EngineError
+	switch {
+	case errors.As(err, &ee):
+		level = slog.LevelError
+	case errors.As(err, &le):
+		level = slog.LevelWarn
+	}
+	attrs := []any{
+		slog.String("grammar", grammar),
+		slog.String("input", name),
+		slog.Int("input_bytes", inputBytes),
+		slog.Duration("duration", d),
+		slog.String("outcome", outcome),
+		slog.Int("calls", stats.Calls),
+		slog.Int("memo_bytes", stats.MemoBytes),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	log.Log(context.Background(), level, "parse", attrs...)
+}
+
+// LogRequests wraps next, emitting one structured slog record per HTTP
+// request: method, path, status, response bytes, and duration. A nil
+// logger disables logging without a handler indirection.
+func LogRequests(log *slog.Logger, next http.Handler) http.Handler {
+	if log == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		level := slog.LevelInfo
+		if rec.status >= 500 {
+			level = slog.LevelError
+		} else if rec.status >= 400 {
+			level = slog.LevelWarn
+		}
+		log.Log(r.Context(), level, "http",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Int("bytes", rec.bytes),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
+}
+
+// statusRecorder captures the status code and body size a handler
+// wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}

@@ -1,0 +1,130 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"modpeg/internal/telemetry"
+	"modpeg/internal/text"
+	"modpeg/internal/vm"
+)
+
+// testLogger returns a slog logger writing JSON lines to a builder,
+// with the timestamp removed for determinism.
+func testLogger() (*slog.Logger, *strings.Builder) {
+	var b strings.Builder
+	h := slog.NewJSONHandler(&b, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	return slog.New(h), &b
+}
+
+func TestOutcome(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{&vm.ParseError{Src: text.NewSource("in", "x"), Pos: 0}, "syntax"},
+		{&vm.LimitError{Kind: vm.LimitTime}, "limit:deadline"},
+		{&vm.LimitError{Kind: vm.LimitInput}, "limit:input-bytes"},
+		{&vm.LimitError{Kind: vm.LimitMemo}, "limit:memo-bytes"},
+		{&vm.EngineError{Panic: "boom"}, "engine"},
+		{errors.New("other"), "error"},
+	}
+	for _, c := range cases {
+		if got := telemetry.Outcome(c.err); got != c.want {
+			t.Errorf("Outcome(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestLogParse(t *testing.T) {
+	log, buf := testLogger()
+	telemetry.LogParse(log, "calc.core", "req-1", 42, 3*time.Millisecond,
+		vm.Stats{Calls: 7, MemoBytes: 1024}, nil)
+	telemetry.LogParse(log, "calc.core", "req-2", 9, time.Millisecond,
+		vm.Stats{}, &vm.LimitError{Kind: vm.LimitDepth})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(lines))
+	}
+	var ok, limited map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &limited); err != nil {
+		t.Fatal(err)
+	}
+	if ok["level"] != "INFO" || ok["outcome"] != "ok" || ok["grammar"] != "calc.core" ||
+		ok["input_bytes"] != float64(42) || ok["calls"] != float64(7) {
+		t.Errorf("success record = %v", ok)
+	}
+	if limited["level"] != "WARN" || limited["outcome"] != "limit:call-depth" {
+		t.Errorf("limit record = %v", limited)
+	}
+	if _, present := limited["error"]; !present {
+		t.Errorf("limit record missing error field: %v", limited)
+	}
+
+	// Engine errors log at Error; a nil logger is a no-op.
+	log2, buf2 := testLogger()
+	telemetry.LogParse(log2, "g", "n", 0, 0, vm.Stats{}, &vm.EngineError{Panic: "boom"})
+	if !strings.Contains(buf2.String(), `"level":"ERROR"`) {
+		t.Errorf("engine record = %s", buf2.String())
+	}
+	telemetry.LogParse(nil, "g", "n", 0, 0, vm.Stats{}, nil)
+}
+
+func TestLogRequests(t *testing.T) {
+	log, buf := testLogger()
+	h := telemetry.LogRequests(log, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("hello"))
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/ok", nil))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/missing", nil))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(lines))
+	}
+	var first, second map[string]any
+	json.Unmarshal([]byte(lines[0]), &first)
+	json.Unmarshal([]byte(lines[1]), &second)
+	if first["level"] != "INFO" || first["path"] != "/ok" ||
+		first["status"] != float64(200) || first["bytes"] != float64(5) {
+		t.Errorf("first record = %v", first)
+	}
+	if second["level"] != "WARN" || second["status"] != float64(404) {
+		t.Errorf("second record = %v", second)
+	}
+
+	// Nil logger short-circuits to the wrapped handler.
+	direct := telemetry.LogRequests(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec = httptest.NewRecorder()
+	direct.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("nil-logger wrapper altered handler: %d", rec.Code)
+	}
+}

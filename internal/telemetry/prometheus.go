@@ -1,0 +1,196 @@
+// Package telemetry turns the engine's in-process observability state
+// (the vm metrics registry, parse-event hooks) into exportable forms:
+// Prometheus text exposition for scraping, Chrome trace-event (Perfetto)
+// JSON for timeline inspection, and structured slog records for request
+// logs. It is the bridge between the instrumentation built into
+// internal/vm and the outside world; `modpeg serve` wires all three to
+// a running HTTP service.
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"modpeg/internal/vm"
+)
+
+// ContentType is the Prometheus text exposition format content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// scalar metrics rendered from the snapshot, in declaration order.
+// Counters carry the conventional _total suffix; peak_memo_bytes is a
+// gauge (ResetMetrics can lower it).
+var scalarMetrics = []struct {
+	name, typ, help string
+	value           func(vm.MetricsSnapshot) int64
+}{
+	{"modpeg_parses_started_total", "counter", "Parses begun; each lands in completed, failed, or limit_stops.",
+		func(m vm.MetricsSnapshot) int64 { return m.ParsesStarted }},
+	{"modpeg_parses_completed_total", "counter", "Parses that matched the whole input.",
+		func(m vm.MetricsSnapshot) int64 { return m.ParsesCompleted }},
+	{"modpeg_parses_failed_total", "counter", "Parses rejected with a syntax error.",
+		func(m vm.MetricsSnapshot) int64 { return m.ParsesFailed }},
+	{"modpeg_pool_gets_total", "counter", "Parser checkouts from the session pool.",
+		func(m vm.MetricsSnapshot) int64 { return m.PoolGets }},
+	{"modpeg_pool_news_total", "counter", "Pool misses that built a fresh parser.",
+		func(m vm.MetricsSnapshot) int64 { return m.PoolNews }},
+	{"modpeg_session_resets_total", "counter", "Warm parser rewinds (reuse of a parser that had parsed before).",
+		func(m vm.MetricsSnapshot) int64 { return m.SessionResets }},
+	{"modpeg_arena_bytes_carved_total", "counter", "Memo-arena slab bytes obtained from the allocator.",
+		func(m vm.MetricsSnapshot) int64 { return m.ArenaBytesCarved }},
+	{"modpeg_arena_bytes_recycled_total", "counter", "Carved arena bytes made reusable again by session resets.",
+		func(m vm.MetricsSnapshot) int64 { return m.ArenaBytesRecycled }},
+	{"modpeg_peak_memo_bytes", "gauge", "Largest single-parse memo footprint observed (Stats.MemoBytes model).",
+		func(m vm.MetricsSnapshot) int64 { return m.PeakMemoBytes }},
+	{"modpeg_limit_stops_total", "counter", "Parses stopped by a resource budget or canceled context.",
+		func(m vm.MetricsSnapshot) int64 { return m.LimitStops }},
+	{"modpeg_memo_sheds_total", "counter", "Memo-budget hits that shed memoization instead of stopping the parse.",
+		func(m vm.MetricsSnapshot) int64 { return m.MemoSheds }},
+	{"modpeg_panics_contained_total", "counter", "Interpreter panics converted into EngineError by the governance layer.",
+		func(m vm.MetricsSnapshot) int64 { return m.PanicsContained }},
+	{"modpeg_incremental_applies_total", "counter", "Document.Apply calls with at least one edit.",
+		func(m vm.MetricsSnapshot) int64 { return m.IncrementalApplies }},
+	{"modpeg_incremental_full_reparses_total", "counter", "Incremental applies that fell back to a from-scratch reparse.",
+		func(m vm.MetricsSnapshot) int64 { return m.IncrementalFullReparses }},
+	{"modpeg_memo_entries_reused_total", "counter", "Memo hits answered by entries recycled from an earlier revision.",
+		func(m vm.MetricsSnapshot) int64 { return m.MemoEntriesReused }},
+	{"modpeg_memo_entries_invalidated_total", "counter", "Recycled memo entries killed by edit damage.",
+		func(m vm.MetricsSnapshot) int64 { return m.MemoEntriesInvalidated }},
+	{"modpeg_memo_entries_relocated_total", "counter", "Recycled memo entries shifted past an edit by directory remap.",
+		func(m vm.MetricsSnapshot) int64 { return m.MemoEntriesRelocated }},
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format v0.0.4: the scalar registry counters, the parse-duration
+// (seconds) and input-size (bytes) histograms, and the per-grammar
+// labeled counters. Rendering is deterministic: fixed metric order,
+// grammar labels sorted.
+func WritePrometheus(w io.Writer, m vm.MetricsSnapshot) error {
+	bw := bufio.NewWriter(w)
+	p := promWriter{w: bw}
+
+	for _, s := range scalarMetrics {
+		p.header(s.name, s.help, s.typ)
+		p.sample(s.name, "", strconv.FormatInt(s.value(m), 10))
+	}
+
+	p.histogram("modpeg_parse_duration_seconds",
+		"Wall-clock time of each parse, by outcome bucket.", m.ParseDurationNS, 1e-9)
+	p.histogram("modpeg_parse_input_bytes",
+		"Input size of each parse in bytes.", m.ParseInputBytes, 1)
+
+	if labels := m.GrammarLabels(); len(labels) > 0 {
+		p.header("modpeg_grammar_parses_started_total",
+			"Parses begun, by grammar label.", "counter")
+		for _, label := range labels {
+			p.sample("modpeg_grammar_parses_started_total",
+				`{grammar="`+escapeLabel(label)+`"}`,
+				strconv.FormatInt(m.Grammars[label].ParsesStarted, 10))
+		}
+		p.header("modpeg_grammar_parses_total",
+			"Parse outcomes, by grammar label.", "counter")
+		for _, label := range labels {
+			g := m.Grammars[label]
+			esc := escapeLabel(label)
+			p.sample("modpeg_grammar_parses_total",
+				`{grammar="`+esc+`",outcome="completed"}`, strconv.FormatInt(g.ParsesCompleted, 10))
+			p.sample("modpeg_grammar_parses_total",
+				`{grammar="`+esc+`",outcome="failed"}`, strconv.FormatInt(g.ParsesFailed, 10))
+			p.sample("modpeg_grammar_parses_total",
+				`{grammar="`+esc+`",outcome="limit"}`, strconv.FormatInt(g.LimitStops, 10))
+		}
+		p.header("modpeg_grammar_input_bytes_total",
+			"Input bytes submitted, by grammar label.", "counter")
+		for _, label := range labels {
+			p.sample("modpeg_grammar_input_bytes_total",
+				`{grammar="`+escapeLabel(label)+`"}`,
+				strconv.FormatInt(m.Grammars[label].InputBytes, 10))
+		}
+	}
+
+	if p.err != nil {
+		return p.err
+	}
+	return bw.Flush()
+}
+
+// Handler serves the process-wide metrics registry in exposition
+// format — the GET /metrics scrape endpoint.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = WritePrometheus(w, vm.Metrics())
+	})
+}
+
+// promWriter accumulates exposition lines, latching the first write
+// error (the bufio layer makes subsequent calls cheap no-ops).
+type promWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (p *promWriter) line(s string) {
+	if p.err != nil {
+		return
+	}
+	if _, err := p.w.WriteString(s); err != nil {
+		p.err = err
+		return
+	}
+	p.err = p.w.WriteByte('\n')
+}
+
+func (p *promWriter) header(name, help, typ string) {
+	p.line("# HELP " + name + " " + help)
+	p.line("# TYPE " + name + " " + typ)
+}
+
+func (p *promWriter) sample(name, labels, value string) {
+	p.line(name + labels + " " + value)
+}
+
+// histogram renders h with its native int64 bounds and sum scaled by
+// unit (1e-9 converts the nanosecond latency histogram to conventional
+// seconds). Buckets in a HistogramSnapshot are already cumulative; the
+// +Inf bucket is the total count.
+func (p *promWriter) histogram(name, help string, h vm.HistogramSnapshot, unit float64) {
+	p.header(name, help, "histogram")
+	for _, b := range h.Buckets {
+		p.sample(name+"_bucket",
+			`{le="`+formatFloat(float64(b.UpperBound)*unit)+`"}`,
+			strconv.FormatInt(b.Count, 10))
+	}
+	p.sample(name+"_bucket", `{le="+Inf"}`, strconv.FormatInt(h.Count, 10))
+	p.sample(name+"_sum", "", formatFloat(float64(h.Sum)*unit))
+	p.sample(name+"_count", "", strconv.FormatInt(h.Count, 10))
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

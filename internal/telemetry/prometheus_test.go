@@ -1,0 +1,181 @@
+package telemetry_test
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"modpeg"
+	"modpeg/internal/telemetry"
+	"modpeg/internal/vm"
+)
+
+// TestWritePrometheusGolden pins the exposition-format rendering of a
+// fixed snapshot byte for byte: metric names, HELP/TYPE lines, bucket
+// bounds, label escaping, and ordering.
+func TestWritePrometheusGolden(t *testing.T) {
+	snap := vm.MetricsSnapshot{
+		ParsesStarted:   4,
+		ParsesCompleted: 2,
+		ParsesFailed:    1,
+		PoolGets:        4,
+		PoolNews:        1,
+		PeakMemoBytes:   2048,
+		LimitStops:      1,
+		ParseDurationNS: vm.HistogramSnapshot{
+			Count: 4,
+			Sum:   4_000_000,
+			Buckets: []vm.HistogramBucket{
+				{UpperBound: 1_000_000, Count: 3},
+				{UpperBound: 10_000_000, Count: 4},
+			},
+		},
+		ParseInputBytes: vm.HistogramSnapshot{
+			Count: 4,
+			Sum:   220,
+			Buckets: []vm.HistogramBucket{
+				{UpperBound: 64, Count: 3},
+				{UpperBound: 256, Count: 4},
+			},
+		},
+		Grammars: map[string]vm.GrammarCounters{
+			"calc.core":  {ParsesStarted: 3, ParsesCompleted: 2, ParsesFailed: 1, InputBytes: 20},
+			`wei"rd\lbl`: {ParsesStarted: 1, LimitStops: 1, InputBytes: 200},
+		},
+	}
+	var b strings.Builder
+	if err := telemetry.WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != string(golden) {
+		t.Errorf("exposition output drifted from testdata/metrics.prom.\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+// expositionLine matches the sample-line grammar of the text format:
+// metric name, optional label set, and a float/integer value.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [-+0-9.eE]+(e[-+][0-9]+)?$|^\+Inf$`)
+
+// TestPrometheusFormatValid scrapes a live snapshot and checks every
+// line against the exposition grammar, plus the histogram invariants
+// (cumulative buckets, +Inf == count).
+func TestPrometheusFormatValid(t *testing.T) {
+	p, err := modpeg.New("calc.core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modpeg.ResetMetrics()
+	p.Parse("in", "1+2*3")
+	p.Parse("in", "1+")
+
+	var b strings.Builder
+	if err := telemetry.WritePrometheus(&b, modpeg.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	var lastBucket = map[string]int64{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(line) && !strings.Contains(line, `le="+Inf"`) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+		if i := strings.Index(line, "_bucket{le="); i >= 0 {
+			name := line[:i]
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Errorf("bucket value unparsable in %q", line)
+				continue
+			}
+			if v < lastBucket[name] {
+				t.Errorf("bucket counts not cumulative at %q", line)
+			}
+			lastBucket[name] = v
+		}
+	}
+	for _, want := range []string{
+		"# TYPE modpeg_parse_duration_seconds histogram",
+		`modpeg_parse_duration_seconds_bucket{le="+Inf"} 2`,
+		"modpeg_parse_duration_seconds_count 2",
+		"# TYPE modpeg_grammar_parses_total counter",
+		`modpeg_grammar_parses_total{grammar="calc.core",outcome="completed"} 1`,
+		`modpeg_grammar_parses_total{grammar="calc.core",outcome="failed"} 1`,
+		"modpeg_parses_started_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition output missing %q", want)
+		}
+	}
+	modpeg.ResetMetrics()
+}
+
+// TestJSONPrometheusRoundTrip checks that the JSON snapshot and the
+// Prometheus rendering of the same snapshot agree on histogram counts,
+// sums, and per-grammar counters.
+func TestJSONPrometheusRoundTrip(t *testing.T) {
+	p, err := modpeg.New("json.value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modpeg.ResetMetrics()
+	inputs := []string{`{"a": [1, 2, 3]}`, `[true, false, null]`, `{"broken":`}
+	for _, in := range inputs {
+		p.Parse("in", in)
+	}
+	snap := modpeg.Metrics()
+
+	var b strings.Builder
+	if err := telemetry.WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	rendered := b.String()
+
+	scrape := func(line string) int64 {
+		idx := strings.Index(rendered, line+" ")
+		if idx < 0 {
+			t.Fatalf("rendering missing sample %q", line)
+		}
+		rest := rendered[idx+len(line)+1:]
+		end := strings.IndexByte(rest, '\n')
+		v, err := strconv.ParseFloat(rest[:end], 64)
+		if err != nil {
+			t.Fatalf("sample %q value unparsable: %v", line, err)
+		}
+		return int64(v + 0.5)
+	}
+
+	if got := scrape("modpeg_parse_duration_seconds_count"); got != snap.ParseDurationNS.Count {
+		t.Errorf("duration count: prometheus %d, json %d", got, snap.ParseDurationNS.Count)
+	}
+	if got := scrape("modpeg_parse_input_bytes_count"); got != snap.ParseInputBytes.Count {
+		t.Errorf("input-bytes count: prometheus %d, json %d", got, snap.ParseInputBytes.Count)
+	}
+	if got := scrape("modpeg_parse_input_bytes_sum"); got != snap.ParseInputBytes.Sum {
+		t.Errorf("input-bytes sum: prometheus %d, json %d", got, snap.ParseInputBytes.Sum)
+	}
+	// Every finite duration bucket must agree with the JSON cumulative
+	// count (the rendering only rescales the bound, never the count).
+	for _, bkt := range snap.ParseDurationNS.Buckets {
+		line := `modpeg_parse_duration_seconds_bucket{le="` +
+			strconv.FormatFloat(float64(bkt.UpperBound)*1e-9, 'g', -1, 64) + `"}`
+		if got := scrape(line); got != bkt.Count {
+			t.Errorf("bucket %s: prometheus %d, json %d", line, got, bkt.Count)
+		}
+	}
+	g := snap.Grammars["json.value"]
+	if got := scrape(`modpeg_grammar_parses_started_total{grammar="json.value"}`); got != g.ParsesStarted {
+		t.Errorf("grammar started: prometheus %d, json %d", got, g.ParsesStarted)
+	}
+	if got := scrape(`modpeg_grammar_input_bytes_total{grammar="json.value"}`); got != g.InputBytes {
+		t.Errorf("grammar input bytes: prometheus %d, json %d", got, g.InputBytes)
+	}
+	modpeg.ResetMetrics()
+}

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"modpeg/internal/analysis"
 	"modpeg/internal/peg"
@@ -95,6 +96,11 @@ type Program struct {
 	// pool recycles Parser sessions across Parse calls; it is the only
 	// mutable (and internally synchronized) part of a compiled program.
 	pool sync.Pool
+	// gstats points at the per-grammar counter set this program's parses
+	// feed in the metrics registry (metrics.go). Compile resolves a
+	// default from the root production's module qualifier; SetLabel
+	// re-points it. Atomic so SetLabel is safe against in-flight parses.
+	gstats atomic.Pointer[grammarStats]
 }
 
 type valueKind uint8
@@ -121,6 +127,34 @@ type prodInfo struct {
 // Options returns the configuration the program was compiled with.
 func (p *Program) Options() Options { return p.opts }
 
+// SetLabel sets the grammar label this program's parses are counted
+// under in the metrics registry's per-grammar counters (and in the
+// Prometheus exporter's `grammar` label). Programs compiled for the
+// same label share one counter set. Compile defaults the label to the
+// root production's module qualifier; higher layers that know the
+// user-facing grammar name (the facade's top module) override it.
+func (p *Program) SetLabel(label string) {
+	p.gstats.Store(grammarStatsFor(label))
+}
+
+// Label returns the program's current grammar label.
+func (p *Program) Label() string {
+	if g := p.gstats.Load(); g != nil {
+		return g.label
+	}
+	return ""
+}
+
+// defaultGrammarLabel derives a label from the fully qualified root
+// production name: its module qualifier ("calc.core.Expr" → "calc.core"),
+// or the whole name when unqualified.
+func defaultGrammarLabel(root string) string {
+	if i := strings.LastIndexByte(root, '.'); i >= 0 {
+		return root[:i]
+	}
+	return root
+}
+
 // MemoColumns returns the number of memoized productions.
 func (p *Program) MemoColumns() int { return p.memoCols }
 
@@ -146,6 +180,7 @@ func Compile(g *peg.Grammar, opts Options) (*Program, error) {
 		return nil, fmt.Errorf("vm: root production %q not found", g.Root)
 	}
 	p.root = root
+	p.SetLabel(defaultGrammarLabel(g.Root))
 
 	// Memo columns are assigned hottest-first (by static reference count)
 	// so that frequently probed productions share the first chunks of

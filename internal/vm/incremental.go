@@ -397,6 +397,7 @@ func (ps *Parser) beginIncremental(src *text.Source) {
 	ps.quiet = 0
 	ps.hook = nil
 	ps.examined = 0
+	ps.beginTelemetry()
 	ps.disarm()
 	scratch := ps.scratch[:cap(ps.scratch)]
 	clear(scratch)

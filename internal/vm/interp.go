@@ -245,6 +245,13 @@ type Parser struct {
 	// can count warm rewinds (metrics.sessionResets) separately from
 	// cold first parses.
 	used bool
+
+	// telemetry records whether this parse was captured by the registry
+	// histograms (latched from the process toggle at begin so a parse
+	// straddling a SetTelemetry flip stays internally consistent);
+	// started is its wall-clock start for the latency histogram.
+	telemetry bool
+	started   time.Time
 }
 
 // maxExpected caps the recorded expectation set.
@@ -325,6 +332,7 @@ func (ps *Parser) begin(src *text.Source) {
 	ps.hook = nil
 	ps.examined = 0
 	ps.gen = 0
+	ps.beginTelemetry()
 	ps.disarm()
 	// Drop value references parked in the scratch stack's capacity.
 	scratch := ps.scratch[:cap(ps.scratch)]
@@ -379,6 +387,9 @@ func (ps *Parser) run() (val ast.Value, err error) {
 	}
 	ps.finishStats()
 	metrics.parsesCompleted.Add(1)
+	if g := ps.grammarTally(); g != nil {
+		g.completed.Add(1)
+	}
 	return val, nil
 }
 
@@ -390,20 +401,60 @@ func (ps *Parser) runPrefix() (val ast.Value, end int, err error) {
 	}
 	ps.finishStats()
 	metrics.parsesCompleted.Add(1)
+	if g := ps.grammarTally(); g != nil {
+		g.completed.Add(1)
+	}
 	return val, end, nil
 }
 
+// beginTelemetry latches the process telemetry toggle for this parse
+// and records its start: the input-size histogram and the per-grammar
+// started/input-bytes counters fire here, the latency histogram and the
+// outcome counters at the parse's single exit funnel (finishStats and
+// the outcome sites around it). Atomic adds only — no allocation.
+func (ps *Parser) beginTelemetry() {
+	ps.telemetry = telemetryEnabled.Load()
+	if !ps.telemetry {
+		return
+	}
+	ps.started = time.Now()
+	metrics.inputSize.observe(int64(len(ps.in)))
+	if g := ps.prog.gstats.Load(); g != nil {
+		g.started.Add(1)
+		g.inputBytes.Add(int64(len(ps.in)))
+	}
+}
+
+// grammarTally returns the per-grammar counter set when telemetry
+// captured this parse, nil otherwise.
+func (ps *Parser) grammarTally() *grammarStats {
+	if !ps.telemetry {
+		return nil
+	}
+	return ps.prog.gstats.Load()
+}
+
+// finishStats is the single per-parse exit funnel: every parse — run
+// and runPrefix successes, syntax errors, limit stops, and contained
+// panics — crosses it exactly once, so the latency histogram is
+// observed here.
 func (ps *Parser) finishStats() {
 	// See the memo footprint model above memoEntrySize/mapEntryBytes.
 	ps.stats.MemoBytes = ps.stats.ChunksAllocated*chunkSize*memoEntrySize +
 		ps.stats.ChunkRows*ps.chunkCount*8 +
 		len(ps.memoMap)*mapEntryBytes
 	metrics.observePeakMemo(int64(ps.stats.MemoBytes))
+	if ps.telemetry {
+		metrics.parseDuration.observe(int64(time.Since(ps.started)))
+	}
 }
 
 func (ps *Parser) syntaxError() error {
 	ps.finishStats()
 	metrics.parsesFailed.Add(1)
+	if g := ps.grammarTally(); g != nil {
+		g.failed.Add(1)
+	}
 	pos := ps.failPos
 	if pos < 0 {
 		pos = 0

@@ -316,6 +316,9 @@ func (ps *Parser) contain(val *ast.Value, err *error) {
 	}
 	if le, ok := r.(*LimitError); ok {
 		metrics.limitStops.Add(1)
+		if g := ps.grammarTally(); g != nil {
+			g.limitStops.Add(1)
+		}
 		*err = le
 		return
 	}
@@ -329,6 +332,9 @@ func (ps *Parser) runContext(ctx context.Context, lim Limits) (ast.Value, error)
 	if le := ps.arm(ctx, lim); le != nil {
 		ps.finishStats()
 		metrics.limitStops.Add(1)
+		if g := ps.grammarTally(); g != nil {
+			g.limitStops.Add(1)
+		}
 		return nil, le
 	}
 	return ps.run()
@@ -355,4 +361,17 @@ func (s *Session) ParseContext(ctx context.Context, src *text.Source, lim Limits
 	s.ps.begin(src)
 	val, err := s.ps.runContext(ctx, lim)
 	return val, s.ps.stats, err
+}
+
+// ParseContextWithHook is ParseContext with h receiving the parse's
+// events — the governed variant of ParseWithHook, for callers (such as
+// a parse service) that want budgets, cancellation, and instrumentation
+// on the same pooled parse.
+func (p *Program) ParseContextWithHook(ctx context.Context, src *text.Source, lim Limits, h Hook) (ast.Value, Stats, error) {
+	ps := p.acquire()
+	defer p.release(ps)
+	ps.begin(src)
+	ps.hook = h
+	val, err := ps.runContext(ctx, lim)
+	return val, ps.stats, err
 }

@@ -2,6 +2,8 @@ package vm
 
 import (
 	"encoding/json"
+	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -17,6 +19,217 @@ import (
 // Byte counters use the same footprint model as Stats.MemoBytes
 // (memoEntrySize et al.), so registry numbers and per-parse numbers are
 // directly comparable.
+//
+// On top of the scalar counters the registry keeps two fixed-bucket
+// histograms (parse latency and input size) and per-grammar labeled
+// counters, all lock-free on the hot path: recording is a handful of
+// atomic adds per parse (never per production) and allocates nothing,
+// so the nil-hook/ungoverned 0 allocs/op guarantee holds with telemetry
+// enabled. SetTelemetry(false) disables the per-parse recording
+// entirely for ablation measurements (Table 9).
+
+// telemetryEnabled gates the per-parse histogram and per-grammar
+// recording. Enabled by default; see SetTelemetry.
+var telemetryEnabled atomic.Bool
+
+func init() {
+	telemetryEnabled.Store(true)
+	metrics.parseDuration.bounds = parseDurationBounds
+	metrics.inputSize.bounds = inputSizeBounds
+}
+
+// SetTelemetry enables or disables per-parse telemetry recording (the
+// latency and input-size histograms and the per-grammar counters) and
+// returns the previous setting. The scalar registry counters are always
+// on. Telemetry is enabled by default; disabling exists for overhead
+// ablations, not as a production configuration — the recording path is
+// allocation-free either way.
+func SetTelemetry(on bool) bool { return telemetryEnabled.Swap(on) }
+
+// TelemetryEnabled reports whether per-parse telemetry recording is on.
+func TelemetryEnabled() bool { return telemetryEnabled.Load() }
+
+// ------------------------------------------------------------ histograms
+
+// Histogram bucket ladders. Fixed at process start so observation is a
+// bounded scan over a static array — no sizing heuristics, no locks.
+// Upper bounds are inclusive (Prometheus `le` semantics); observations
+// beyond the last bound land only in the implicit +Inf bucket.
+var (
+	// parseDurationBounds is a 1–2.5–5 ladder in nanoseconds from 1µs to
+	// 10s: wide enough for a void-grammar microparse and a governed
+	// multi-second worst case in the same scrape.
+	parseDurationBounds = []int64{
+		1_000, 2_500, 5_000, // 1µs 2.5µs 5µs
+		10_000, 25_000, 50_000, // 10µs 25µs 50µs
+		100_000, 250_000, 500_000, // 100µs 250µs 500µs
+		1_000_000, 2_500_000, 5_000_000, // 1ms 2.5ms 5ms
+		10_000_000, 25_000_000, 50_000_000, // 10ms 25ms 50ms
+		100_000_000, 250_000_000, 500_000_000, // 100ms 250ms 500ms
+		1_000_000_000, 2_500_000_000, 5_000_000_000, // 1s 2.5s 5s
+		10_000_000_000, // 10s
+	}
+	// inputSizeBounds covers inputs from a REPL line to the multi-MB
+	// adversarial corpus, in bytes.
+	inputSizeBounds = []int64{
+		64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10,
+		256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
+	}
+)
+
+// histMaxBuckets sizes the static bucket arrays: the longest ladder.
+const histMaxBuckets = 22
+
+// histogram is a lock-free fixed-bucket histogram. Per-bucket counts
+// are stored non-cumulative (one atomic add per observation) and summed
+// into Prometheus-style cumulative buckets at snapshot time.
+type histogram struct {
+	bounds  []int64 // ascending inclusive upper bounds; +Inf implicit
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histMaxBuckets]atomic.Int64
+}
+
+// observe records one value: three atomic adds and a bounded scan, no
+// allocation.
+func (h *histogram) observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	// Beyond the last bound: counted only by the implicit +Inf bucket,
+	// which snapshot derives from count.
+}
+
+func (h *histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistogramBucket is one cumulative histogram bucket: the number of
+// observations with value <= UpperBound.
+type HistogramBucket struct {
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a registry histogram.
+// Buckets are cumulative over the finite upper bounds, in ascending
+// order; the +Inf bucket is implicit and equals Count. Sum and the
+// bounds are in the histogram's native unit (nanoseconds for the
+// latency histogram, bytes for the input-size histogram).
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]HistogramBucket, len(h.bounds)),
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		s.Buckets[i] = HistogramBucket{UpperBound: b, Count: cum}
+	}
+	return s
+}
+
+// --------------------------------------------------- per-grammar counters
+
+// grammarStats is one grammar label's counter set. Programs hold a
+// resolved pointer (see Program.SetLabel), so hot-path recording is
+// plain atomic adds — the label registry's mutex is only taken at
+// compile/SetLabel/snapshot/reset time.
+type grammarStats struct {
+	label      string
+	started    atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	limitStops atomic.Int64
+	inputBytes atomic.Int64
+}
+
+var (
+	grammarsMu  sync.Mutex
+	grammarsReg = make(map[string]*grammarStats)
+)
+
+// grammarStatsFor returns the (process-wide) counter set for label,
+// registering it on first use. Counter sets are never removed: Programs
+// keep pointers to them, and ResetMetrics zeroes them in place so a
+// reset never orphans a live Program's counters.
+func grammarStatsFor(label string) *grammarStats {
+	grammarsMu.Lock()
+	defer grammarsMu.Unlock()
+	g := grammarsReg[label]
+	if g == nil {
+		g = &grammarStats{label: label}
+		grammarsReg[label] = g
+	}
+	return g
+}
+
+// GrammarCounters is a point-in-time copy of one grammar label's
+// counters. ParsesStarted counts begun parses; each lands in
+// ParsesCompleted, ParsesFailed, or LimitStops. InputBytes sums the
+// input sizes of begun parses.
+type GrammarCounters struct {
+	ParsesStarted   int64 `json:"parses_started"`
+	ParsesCompleted int64 `json:"parses_completed"`
+	ParsesFailed    int64 `json:"parses_failed"`
+	LimitStops      int64 `json:"limit_stops"`
+	InputBytes      int64 `json:"input_bytes"`
+}
+
+// snapshotGrammars copies the per-grammar counters, skipping labels
+// that have not recorded a parse since the last reset (registration
+// alone — compiling a Program — does not make a label scrapeable).
+func snapshotGrammars() map[string]GrammarCounters {
+	grammarsMu.Lock()
+	defer grammarsMu.Unlock()
+	var out map[string]GrammarCounters
+	for label, g := range grammarsReg {
+		started := g.started.Load()
+		if started == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]GrammarCounters)
+		}
+		out[label] = GrammarCounters{
+			ParsesStarted:   started,
+			ParsesCompleted: g.completed.Load(),
+			ParsesFailed:    g.failed.Load(),
+			LimitStops:      g.limitStops.Load(),
+			InputBytes:      g.inputBytes.Load(),
+		}
+	}
+	return out
+}
+
+// GrammarLabels returns the labels with recorded parses, sorted — the
+// iteration order exporters use for deterministic rendering.
+func (s MetricsSnapshot) GrammarLabels() []string {
+	labels := make([]string, 0, len(s.Grammars))
+	for label := range s.Grammars {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// --------------------------------------------------------------- registry
 
 // metricsRegistry holds the process-wide counters.
 type metricsRegistry struct {
@@ -39,6 +252,10 @@ type metricsRegistry struct {
 	memoEntriesReused       atomic.Int64
 	memoEntriesInvalidated  atomic.Int64
 	memoEntriesRelocated    atomic.Int64
+
+	// Telemetry histograms (gated by SetTelemetry).
+	parseDuration histogram // per-parse wall time, nanoseconds
+	inputSize     histogram // per-parse input size, bytes
 }
 
 // metrics is the registry instance. Process-wide by design: a fleet of
@@ -108,6 +325,17 @@ type MetricsSnapshot struct {
 	MemoEntriesReused      int64 `json:"memo_entries_reused"`
 	MemoEntriesInvalidated int64 `json:"memo_entries_invalidated"`
 	MemoEntriesRelocated   int64 `json:"memo_entries_relocated"`
+
+	// ParseDurationNS and ParseInputBytes are the per-parse latency
+	// (nanoseconds) and input-size (bytes) histograms; empty while
+	// telemetry is disabled (SetTelemetry).
+	ParseDurationNS HistogramSnapshot `json:"parse_duration_ns"`
+	ParseInputBytes HistogramSnapshot `json:"parse_input_bytes"`
+	// Grammars holds per-grammar labeled counters for every grammar
+	// label that recorded at least one parse since the last reset. The
+	// label defaults to the root production's module qualifier and is
+	// overridden by Program.SetLabel.
+	Grammars map[string]GrammarCounters `json:"grammars,omitempty"`
 }
 
 // Metrics returns a snapshot of the process-wide engine metrics.
@@ -131,6 +359,10 @@ func Metrics() MetricsSnapshot {
 		MemoEntriesReused:       metrics.memoEntriesReused.Load(),
 		MemoEntriesInvalidated:  metrics.memoEntriesInvalidated.Load(),
 		MemoEntriesRelocated:    metrics.memoEntriesRelocated.Load(),
+
+		ParseDurationNS: metrics.parseDuration.snapshot(),
+		ParseInputBytes: metrics.inputSize.snapshot(),
+		Grammars:        snapshotGrammars(),
 	}
 }
 
@@ -142,7 +374,8 @@ func (s MetricsSnapshot) JSON() ([]byte, error) {
 // ResetMetrics zeroes the registry — for tests and for scrapers that
 // prefer windowed counters over monotone ones. Not atomic as a whole:
 // counters racing with in-flight parses may land on either side of the
-// reset.
+// reset. Per-grammar counter sets are zeroed in place (not removed), so
+// compiled Programs keep feeding the same sets after a reset.
 func ResetMetrics() {
 	metrics.parsesStarted.Store(0)
 	metrics.parsesCompleted.Store(0)
@@ -161,4 +394,16 @@ func ResetMetrics() {
 	metrics.memoEntriesReused.Store(0)
 	metrics.memoEntriesInvalidated.Store(0)
 	metrics.memoEntriesRelocated.Store(0)
+	metrics.parseDuration.reset()
+	metrics.inputSize.reset()
+
+	grammarsMu.Lock()
+	defer grammarsMu.Unlock()
+	for _, g := range grammarsReg {
+		g.started.Store(0)
+		g.completed.Store(0)
+		g.failed.Store(0)
+		g.limitStops.Store(0)
+		g.inputBytes.Store(0)
+	}
 }

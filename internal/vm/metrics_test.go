@@ -68,9 +68,138 @@ func TestMetricsRegistryCounts(t *testing.T) {
 	}
 
 	ResetMetrics()
-	if z := Metrics(); z != (MetricsSnapshot{}) {
+	z := Metrics()
+	if z.ParsesStarted != 0 || z.ParsesCompleted != 0 || z.ParsesFailed != 0 ||
+		z.PoolGets != 0 || z.PoolNews != 0 || z.SessionResets != 0 ||
+		z.ArenaBytesCarved != 0 || z.ArenaBytesRecycled != 0 || z.PeakMemoBytes != 0 ||
+		z.LimitStops != 0 || z.MemoSheds != 0 || z.PanicsContained != 0 {
 		t.Errorf("ResetMetrics left %+v", z)
 	}
+	if z.ParseDurationNS.Count != 0 || z.ParseInputBytes.Count != 0 {
+		t.Errorf("ResetMetrics left histogram counts %d/%d",
+			z.ParseDurationNS.Count, z.ParseInputBytes.Count)
+	}
+	if len(z.Grammars) != 0 {
+		t.Errorf("ResetMetrics left grammar counters %+v", z.Grammars)
+	}
+}
+
+// TestMetricsHistograms drives parses of known sizes and checks the
+// latency and input-size histograms' counts, sums, and cumulative
+// bucket structure.
+func TestMetricsHistograms(t *testing.T) {
+	prog := build(t, calcGrammar, Optimized())
+	ResetMetrics()
+
+	inputs := []string{"1+2*(3-4)", "1", "1+*"}
+	var bytes int64
+	for _, in := range inputs {
+		prog.Parse(text.NewSource("in", in)) // the syntax error counts too
+		bytes += int64(len(in))
+	}
+
+	m := Metrics()
+	for name, h := range map[string]HistogramSnapshot{
+		"parse_duration_ns": m.ParseDurationNS, "parse_input_bytes": m.ParseInputBytes,
+	} {
+		if h.Count != int64(len(inputs)) {
+			t.Errorf("%s count = %d, want %d", name, h.Count, len(inputs))
+		}
+		if len(h.Buckets) == 0 {
+			t.Fatalf("%s has no buckets", name)
+		}
+		prev := int64(0)
+		for i, b := range h.Buckets {
+			if b.Count < prev {
+				t.Errorf("%s bucket %d not cumulative: %d after %d", name, i, b.Count, prev)
+			}
+			if i > 0 && b.UpperBound <= h.Buckets[i-1].UpperBound {
+				t.Errorf("%s bounds not ascending at %d", name, i)
+			}
+			prev = b.Count
+		}
+		if last := h.Buckets[len(h.Buckets)-1].Count; last > h.Count {
+			t.Errorf("%s last bucket %d exceeds count %d", name, last, h.Count)
+		}
+	}
+	if m.ParseDurationNS.Sum <= 0 {
+		t.Errorf("duration sum = %d, want > 0", m.ParseDurationNS.Sum)
+	}
+	if m.ParseInputBytes.Sum != bytes {
+		t.Errorf("input-bytes sum = %d, want %d", m.ParseInputBytes.Sum, bytes)
+	}
+	// All three inputs are tiny: every one lands at or below the 64-byte
+	// bound, so the first bucket is already full.
+	if got := m.ParseInputBytes.Buckets[0]; got.UpperBound != 64 || got.Count != int64(len(inputs)) {
+		t.Errorf("input-bytes first bucket = %+v, want le=64 count=%d", got, len(inputs))
+	}
+	ResetMetrics()
+}
+
+// TestMetricsPerGrammar checks the labeled counter sets: outcomes land
+// under the program's label, SetLabel re-points them, and zero-count
+// labels stay out of snapshots.
+func TestMetricsPerGrammar(t *testing.T) {
+	prog := build(t, calcGrammar, Optimized())
+	ResetMetrics()
+
+	ok := text.NewSource("in", "1+2*3")
+	bad := text.NewSource("in", "1+*")
+	prog.Parse(ok)
+	prog.Parse(ok)
+	prog.Parse(bad)
+
+	label := prog.Label()
+	if label == "" {
+		t.Fatal("program has no label")
+	}
+	g, present := Metrics().Grammars[label]
+	if !present {
+		t.Fatalf("no counters under label %q: %+v", label, Metrics().Grammars)
+	}
+	if g.ParsesStarted != 3 || g.ParsesCompleted != 2 || g.ParsesFailed != 1 {
+		t.Errorf("grammar counters = %+v, want 3 started / 2 completed / 1 failed", g)
+	}
+	if want := int64(2*len(ok.Content()) + len(bad.Content())); g.InputBytes != want {
+		t.Errorf("grammar input bytes = %d, want %d", g.InputBytes, want)
+	}
+
+	prog.SetLabel("renamed")
+	prog.Parse(ok)
+	m := Metrics()
+	if got := m.Grammars["renamed"]; got.ParsesStarted != 1 || got.ParsesCompleted != 1 {
+		t.Errorf("renamed counters = %+v, want 1 started / 1 completed", got)
+	}
+	if got := m.Grammars[label]; got.ParsesStarted != 3 {
+		t.Errorf("original label drifted after SetLabel: %+v", got)
+	}
+	ResetMetrics()
+}
+
+// TestSetTelemetry checks the ablation toggle: with telemetry off the
+// scalar counters still advance but histograms and per-grammar sets
+// record nothing.
+func TestSetTelemetry(t *testing.T) {
+	prog := build(t, calcGrammar, Optimized())
+	prev := SetTelemetry(false)
+	defer SetTelemetry(prev)
+	ResetMetrics()
+
+	if _, _, err := prog.Parse(text.NewSource("in", "1+2*3")); err != nil {
+		t.Fatal(err)
+	}
+	m := Metrics()
+	if m.ParsesStarted != 1 || m.ParsesCompleted != 1 {
+		t.Errorf("scalar counters = %d/%d, want 1/1", m.ParsesStarted, m.ParsesCompleted)
+	}
+	if m.ParseDurationNS.Count != 0 || m.ParseInputBytes.Count != 0 {
+		t.Errorf("histograms recorded %d/%d observations with telemetry off",
+			m.ParseDurationNS.Count, m.ParseInputBytes.Count)
+	}
+	if len(m.Grammars) != 0 {
+		t.Errorf("grammar counters recorded with telemetry off: %+v", m.Grammars)
+	}
+	ResetMetrics()
 }
 
 // TestMetricsPeakMonotone checks the high-water mark: a small parse
@@ -101,7 +230,7 @@ func TestMetricsSnapshotJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var m map[string]int64
+	var m map[string]any
 	if err := json.Unmarshal(data, &m); err != nil {
 		t.Fatal(err)
 	}
@@ -110,12 +239,24 @@ func TestMetricsSnapshotJSON(t *testing.T) {
 		"pool_gets", "pool_news", "session_resets",
 		"arena_bytes_carved", "arena_bytes_recycled", "peak_memo_bytes",
 		"limit_stops", "memo_sheds", "panics_contained",
+		"parse_duration_ns", "parse_input_bytes",
 	} {
 		if _, present := m[key]; !present {
 			t.Errorf("snapshot JSON missing %q", key)
 		}
 	}
-	if m["parses_started"] != 7 || m["peak_memo_bytes"] != 9 {
+	if m["parses_started"] != float64(7) || m["peak_memo_bytes"] != float64(9) {
 		t.Errorf("snapshot values drifted: %v", m)
+	}
+	for _, key := range []string{"parse_duration_ns", "parse_input_bytes"} {
+		h, ok := m[key].(map[string]any)
+		if !ok {
+			t.Fatalf("%s is %T, want object", key, m[key])
+		}
+		for _, field := range []string{"count", "sum", "buckets"} {
+			if _, present := h[field]; !present {
+				t.Errorf("%s missing %q", key, field)
+			}
+		}
 	}
 }

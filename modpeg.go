@@ -36,6 +36,7 @@ import (
 	"modpeg/internal/core"
 	"modpeg/internal/grammars"
 	"modpeg/internal/peg"
+	"modpeg/internal/telemetry"
 	"modpeg/internal/text"
 	"modpeg/internal/transform"
 	"modpeg/internal/vm"
@@ -137,6 +138,48 @@ func Metrics() EngineMetrics { return vm.Metrics() }
 // tests and windowed scraping).
 func ResetMetrics() { vm.ResetMetrics() }
 
+// HistogramSnapshot is a point-in-time copy of one of the registry's
+// fixed-bucket histograms (parse latency in nanoseconds, input size in
+// bytes): total count, sum, and cumulative buckets.
+type HistogramSnapshot = vm.HistogramSnapshot
+
+// HistogramBucket is one cumulative histogram bucket.
+type HistogramBucket = vm.HistogramBucket
+
+// GrammarCounters is one grammar label's slice of the metrics
+// registry: parses started/completed/failed, limit stops, and input
+// bytes, labeled by the parser's top module.
+type GrammarCounters = vm.GrammarCounters
+
+// SetTelemetry enables or disables per-parse telemetry recording (the
+// registry histograms and per-grammar counters; on by default) and
+// returns the previous setting. The recording path is allocation-free
+// either way — the toggle exists for overhead ablations.
+func SetTelemetry(on bool) bool { return vm.SetTelemetry(on) }
+
+// TelemetryEnabled reports whether per-parse telemetry recording is on.
+func TelemetryEnabled() bool { return vm.TelemetryEnabled() }
+
+// WritePrometheus renders an engine metrics snapshot in Prometheus text
+// exposition format v0.0.4, histograms and per-grammar counters
+// included. `modpeg serve` exposes the live registry this way on
+// GET /metrics.
+func WritePrometheus(w io.Writer, m EngineMetrics) error {
+	return telemetry.WritePrometheus(w, m)
+}
+
+// TraceExporter is a ParseHook streaming Chrome trace-event JSON — a
+// timeline of production spans, memo hits, and memo sheds loadable in
+// Perfetto or chrome://tracing. Create one with Parser.NewTraceJSON,
+// install it with ParseWithHook, and Close it when done.
+type TraceExporter = telemetry.Trace
+
+// NewTraceJSON creates a trace-event exporter for this parser's
+// productions, streaming JSON to w.
+func (p *Parser) NewTraceJSON(w io.Writer) *TraceExporter {
+	return telemetry.NewTrace(p.prog, w)
+}
+
 // Limits bounds one parse: input size, memo-table footprint, call
 // depth, and wall-clock time (see vm.Limits for the per-field
 // contract). The zero value is unlimited. When the memo budget is hit
@@ -154,6 +197,11 @@ type LimitError = vm.LimitError
 
 // LimitKind names the budget a governed parse exhausted.
 type LimitKind = vm.LimitKind
+
+// ParseError describes a failed parse with the farthest-failure
+// heuristic: the position the parser got stuck at and the
+// terminals/productions it tried there.
+type ParseError = vm.ParseError
 
 // The budget kinds a *LimitError reports.
 const (
@@ -187,6 +235,7 @@ type config struct {
 	optimize  OptimizeOptions
 	engine    EngineOptions
 	skipOpt   bool
+	root      string
 }
 
 // Option configures New.
@@ -224,6 +273,15 @@ func WithEngine(e EngineOptions) Option {
 	return func(c *config) { c.engine = e }
 }
 
+// WithRoot overrides the composed grammar's root with the named
+// production (fully qualified, e.g. "calc.core.Sum"), so the parser
+// accepts that production's language instead of the module's declared
+// root. The optimization pipeline then prunes relative to the new root.
+// `modpeg serve` uses this for per-request entry productions.
+func WithRoot(production string) Option {
+	return func(c *config) { c.root = production }
+}
+
 // Parser is a composed, optimized, compiled grammar ready to parse.
 type Parser struct {
 	top         string
@@ -251,6 +309,12 @@ func New(top string, opts ...Option) (*Parser, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.root != "" {
+		if _, ok := composed.Prods[c.root]; !ok {
+			return nil, fmt.Errorf("modpeg: root production %q not found in grammar %q", c.root, top)
+		}
+		composed.Root = c.root
+	}
 	transformed, report, err := transform.Apply(composed, c.optimize)
 	if err != nil {
 		return nil, err
@@ -259,6 +323,7 @@ func New(top string, opts ...Option) (*Parser, error) {
 	if err != nil {
 		return nil, err
 	}
+	prog.SetLabel(top)
 	return &Parser{
 		top:         top,
 		composed:    composed,
@@ -290,6 +355,28 @@ func (p *Parser) ParseContext(ctx context.Context, name, input string, lim Limit
 	v, _, err := p.prog.ParseContext(ctx, text.NewSource(name, input), lim)
 	return v, err
 }
+
+// ParseContextWithStats is ParseContext plus the engine statistics of
+// the run — the entry point a parse service uses: pooled, governed, and
+// reporting what the parse cost.
+func (p *Parser) ParseContextWithStats(ctx context.Context, name, input string, lim Limits) (Value, ParseStats, error) {
+	return p.prog.ParseContext(ctx, text.NewSource(name, input), lim)
+}
+
+// ParseContextWithHook is ParseContext with h receiving the run's parse
+// events — governance and instrumentation on the same pooled parse.
+func (p *Parser) ParseContextWithHook(ctx context.Context, name, input string, lim Limits, h ParseHook) (Value, ParseStats, error) {
+	return p.prog.ParseContextWithHook(ctx, text.NewSource(name, input), lim, h)
+}
+
+// Label returns the grammar label this parser's parses are counted
+// under in the metrics registry (the top module name); SetLabel
+// overrides it.
+func (p *Parser) Label() string { return p.prog.Label() }
+
+// SetLabel changes the grammar label for the metrics registry's
+// per-grammar counters and the Prometheus `grammar` label.
+func (p *Parser) SetLabel(label string) { p.prog.SetLabel(label) }
 
 // Session is an explicitly managed, reusable parse context: the memo
 // table's storage and the engine's scratch buffers survive from parse to

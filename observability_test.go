@@ -111,12 +111,15 @@ func TestMetricsFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var decoded map[string]int64
+	var decoded map[string]any
 	if err := json.Unmarshal(data, &decoded); err != nil {
 		t.Fatal(err)
 	}
-	if decoded["parses_started"] != 2 {
-		t.Errorf("JSON parses_started = %d", decoded["parses_started"])
+	if decoded["parses_started"] != float64(2) {
+		t.Errorf("JSON parses_started = %v", decoded["parses_started"])
+	}
+	if _, present := decoded["parse_duration_ns"]; !present {
+		t.Error("JSON snapshot missing parse_duration_ns histogram")
 	}
 	ResetMetrics()
 }

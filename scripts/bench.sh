@@ -1,23 +1,27 @@
 #!/bin/sh
 # bench.sh — run the Table 5 session-residency, Table 6 observability,
-# Table 7 resource-governance, and Table 8 incremental-reparse
-# benchmarks and record the results as JSON (BENCH_4.json by default;
-# pass a path to override). Each record maps a benchmark name to ns/op,
-# B/op, and allocs/op. The Table 6 rows measure profiler overhead: the
-# "disabled" row must stay within 2% of BENCH_1.json's java/pooled row
-# (same workload, instrumentation seam added). The Table 7 rows compare
-# ungoverned parsing against zero-limits and all-budgets governed
-# parsing; the VoidSteadyState row is the allocation canary that
-# scripts/bench_check.sh gates on (allocs_per_op must be exactly 0).
-# The Table 8 rows pair a from-scratch reparse of an edited input with
-# the incremental Document.Apply of the same edit; the derived
-# incremental-speedup row (64 KB java.core, one-line edit) must stay
-# at or above 5000 (= 5x, scaled by 1000).
+# Table 7 resource-governance, Table 8 incremental-reparse, and Table 9
+# telemetry-overhead benchmarks and record the results as JSON
+# (BENCH_5.json by default; pass a path to override). Each record maps
+# a benchmark name to ns/op, B/op, and allocs/op. The Table 6 rows
+# measure profiler overhead: the "disabled" row must stay within 2% of
+# BENCH_1.json's java/pooled row (same workload, instrumentation seam
+# added). The Table 7 rows compare ungoverned parsing against
+# zero-limits and all-budgets governed parsing; the VoidSteadyState row
+# is the allocation canary that scripts/bench_check.sh gates on
+# (allocs_per_op must be exactly 0). The Table 8 rows pair a
+# from-scratch reparse of an edited input with the incremental
+# Document.Apply of the same edit; the derived incremental-speedup row
+# (64 KB java.core, one-line edit) must stay at or above 5000 (= 5x,
+# scaled by 1000). The Table 9 rows compare a registry-disabled parse
+# against the default metrics+histograms path (derived
+# telemetry-overhead row should hover near 1000 = no overhead) and the
+# Chrome trace-export hook.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 
-go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6|BenchmarkTable7|BenchmarkTable8' -benchmem -benchtime 20x . |
+go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6|BenchmarkTable7|BenchmarkTable8|BenchmarkTable9' -benchmem -benchtime 20x . |
 	tee /dev/stderr |
 	awk '
 		/^Benchmark/ {
@@ -36,6 +40,9 @@ go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6|BenchmarkTable7|Benchm
 				if (name ~ /Table7Governance\/zero-limits/) zerolimits = ns
 				if (name ~ /Table8Incremental\/64KB\/line\/full/) incfull = ns
 				if (name ~ /Table8Incremental\/64KB\/line\/incremental/) increparse = ns
+				if (name ~ /Table9Telemetry\/bare/) telbare = ns
+				if (name ~ /Table9Telemetry\/metrics/) telmetrics = ns
+				if (name ~ /Table9Telemetry\/traced/) teltraced = ns
 			}
 		}
 		END {
@@ -52,6 +59,10 @@ go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6|BenchmarkTable7|Benchm
 				rows[++n] = sprintf("  {\"name\": \"derived/governance-overhead-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (zerolimits / ungoverned) * 1000)
 			if (incfull != "" && increparse != "")
 				rows[++n] = sprintf("  {\"name\": \"derived/incremental-speedup-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (incfull / increparse) * 1000)
+			if (telbare != "" && telmetrics != "")
+				rows[++n] = sprintf("  {\"name\": \"derived/telemetry-overhead-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (telmetrics / telbare) * 1000)
+			if (telbare != "" && teltraced != "")
+				rows[++n] = sprintf("  {\"name\": \"derived/trace-export-overhead-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (teltraced / telbare) * 1000)
 			print "["
 			for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
 			print "]"

@@ -1,13 +1,13 @@
 #!/bin/sh
 # bench_check.sh — regression gate over a bench.sh JSON report
-# (BENCH_4.json by default; pass a path to override). The governed
+# (BENCH_5.json by default; pass a path to override). The governed
 # zero-allocation guarantee is the one benchmark result that is a hard
 # invariant rather than a trend: the Table 5 void-grammar steady state
 # must report exactly 0 allocs/op, or the slab-arena / session-reuse /
 # governance-arming discipline has regressed. Plain grep/sed so the
 # gate runs anywhere a POSIX shell does.
 set -eu
-report="${1:-BENCH_4.json}"
+report="${1:-BENCH_5.json}"
 
 if [ ! -f "$report" ]; then
 	echo "bench_check: report $report not found (run scripts/bench.sh first)" >&2

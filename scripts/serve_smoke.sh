@@ -1,0 +1,70 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of `modpeg serve`: build the
+# binary, start the service, hit /healthz, /readyz, POST /parse (both a
+# success and a syntax rejection), and /metrics, then send SIGTERM and
+# require a clean graceful-shutdown exit. Plain sh + curl so it runs in
+# CI and locally alike.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+bin="$tmp/modpeg"
+addr="127.0.0.1:${SERVE_SMOKE_PORT:-8371}"
+base="http://$addr"
+
+go build -o "$bin" ./cmd/modpeg
+
+"$bin" serve -addr "$addr" -grammars calc.core,json.value 2>"$tmp/serve.log" &
+pid=$!
+cleanup() {
+	kill -9 "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+# Wait for the listener (up to 5s).
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "serve_smoke: server did not come up" >&2
+		cat "$tmp/serve.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+curl -fsS "$base/healthz" | grep -q ok
+curl -fsS "$base/readyz" | grep -q ready
+
+out=$(curl -fsS -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"grammar":"calc.core","input":"1+2*3"}')
+printf '%s\n' "$out" | grep -q '"value"'
+printf '%s\n' "$out" | grep -q '"stats"'
+
+code=$(curl -sS -o "$tmp/syntax.json" -w '%{http_code}' -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"grammar":"calc.core","input":"1+"}')
+if [ "$code" != "422" ]; then
+	echo "serve_smoke: syntax error returned $code, want 422" >&2
+	cat "$tmp/syntax.json" >&2
+	exit 1
+fi
+grep -q '"expected"' "$tmp/syntax.json"
+
+metrics=$(curl -fsS "$base/metrics")
+printf '%s\n' "$metrics" | grep -q 'modpeg_parse_duration_seconds_bucket'
+printf '%s\n' "$metrics" | grep -q 'modpeg_grammar_parses_total{grammar="calc.core",outcome="completed"}'
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+if [ "$status" != "0" ]; then
+	echo "serve_smoke: server exited $status after SIGTERM, want 0" >&2
+	cat "$tmp/serve.log" >&2
+	exit 1
+fi
+
+echo "serve_smoke: OK"
