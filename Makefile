@@ -11,16 +11,21 @@ test:
 verify:
 	sh scripts/verify.sh
 
-# Session-residency, observability-overhead, resource-governance,
-# incremental-reparse, and telemetry-overhead benchmarks; writes
-# BENCH_5.json.
+# Engine-comparison (40 KB java), session-residency, observability-
+# overhead, resource-governance, incremental-reparse, and telemetry-
+# overhead benchmarks; writes BENCH_6.json.
 bench:
 	sh scripts/bench.sh
 
-# Gate on the allocation canary in a bench JSON (default BENCH_5.json):
-# the void-grammar steady state must stay at exactly 0 allocs/op.
+# Gate a bench JSON (default BENCH_6.json): expected derived rows
+# present, void-grammar steady state at exactly 0 allocs/op, and the
+# java-40KB-ns-per-byte hot-path ratchet.
 bench-check:
 	sh scripts/bench_check.sh
+
+# Old-vs-new ns/op deltas for the Table 3 engine rows.
+bench-diff:
+	sh scripts/benchdiff.sh BENCH_5.json BENCH_6.json
 
 # Per-production profile of the bundled Java grammar on a generated
 # 40 KB workload: hot productions, memo behaviour, engine metrics.

@@ -94,13 +94,15 @@ commands:
   print    [-d dir] [-optimized] <top>
                                    print the composed grammar
   check    [-d dir] <top>          compose and run the static checks
-  parse    [-d dir] [-indent] [-stats] [-profile] [-trace-json file] [-timeout d]
-           [-max-memo n] [-max-depth n] [-strict] [-incremental -edits script]
-           <top> [file]
+  parse    [-d dir] [-indent] [-stats] [-profile] [-pgo profile.json]
+           [-trace-json file] [-timeout d] [-max-memo n] [-max-depth n]
+           [-strict] [-incremental -edits script] <top> [file]
                                    parse a file (or stdin) and print the AST,
                                    optionally under resource limits, through
-                                   an incremental edit script, or exporting a
-                                   Chrome trace-event file
+                                   an incremental edit script, exporting a
+                                   Chrome trace-event file, or recompiled
+                                   with profile-guided inlining (-pgo takes
+                                   the JSON written by profile -json)
   profile  [-d dir] [-n reps] [-top n] [-json] [-metrics] [-trace-json file]
            [-gen kb] <top> [file]
                                    profile parses of a file (or stdin, or a
@@ -252,11 +254,26 @@ func cmdParse(args []string, stdin io.Reader, w io.Writer) error {
 	strict := fs.Bool("strict", false, "fail when the memo budget is hit instead of shedding memoization")
 	incremental := fs.Bool("incremental", false, "parse as an editable document and replay the -edits script incrementally")
 	editsPath := fs.String("edits", "", "edit script for -incremental: lines \"@off oldLen [\\\"text\\\"]\", blank-line-separated batches")
+	pgoPath := fs.String("pgo", "", "profile report (modpeg profile -json) enabling profile-guided inlining")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() < 1 || fs.NArg() > 2 {
-		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] [-profile] [-trace-json file] [-timeout d] [-max-memo n] [-max-depth n] [-strict] [-incremental -edits script] <top-module> [file]")
+		return fmt.Errorf("usage: modpeg parse [-d dir] [-indent] [-stats] [-profile] [-pgo profile.json] [-trace-json file] [-timeout d] [-max-memo n] [-max-depth n] [-strict] [-incremental -edits script] <top-module> [file]")
 	}
-	p, err := modpeg.New(fs.Arg(0), moduleOpts(*dir)...)
+	opts := moduleOpts(*dir)
+	if *pgoPath != "" {
+		data, rerr := os.ReadFile(*pgoPath)
+		if rerr != nil {
+			return rerr
+		}
+		pgo, perr := modpeg.LoadPGO(data)
+		if perr != nil {
+			return perr
+		}
+		e := modpeg.EngineOptimized()
+		e.PGO = pgo
+		opts = append(opts, modpeg.WithEngine(e))
+	}
+	p, err := modpeg.New(fs.Arg(0), opts...)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"testing"
+
+	"modpeg/internal/peg"
+)
+
+// The dispatch pipeline (bitmap terminals, scan fusion, first-set choice
+// pruning) leans on ByteSet and firstOf being over-approximations in
+// every corner case. These tests pin the corners named in the design:
+// negated classes spanning the whole byte range, case-insensitive
+// literal alternations, nullable-prefix First unions, and imprecision
+// under predicates.
+
+func classOf(t *testing.T, body string) (*Analysis, *peg.CharClass) {
+	t.Helper()
+	g := grammarOf(t, "public S = "+body+" ;\n")
+	a := Analyze(g)
+	choice := g.Prods[g.Root].Choice
+	if len(choice.Alts) != 1 {
+		t.Fatalf("unexpected root shape: %d alts", len(choice.Alts))
+	}
+	seq := choice.Alts[0]
+	cc, ok := seq.Items[0].Expr.(*peg.CharClass)
+	if !ok {
+		t.Fatalf("root item is %T, want *peg.CharClass", seq.Items[0].Expr)
+	}
+	return a, cc
+}
+
+func TestNegatedFullRangeClass(t *testing.T) {
+	// [^\x00-\xff] excludes every byte: its first set must be empty and
+	// the class can never match — the degenerate bitmap, not a panic.
+	a, cc := classOf(t, `[^\x00-\xff]`)
+	set, precise := FirstOfExpr(a, cc)
+	if !precise {
+		t.Error("a bare class is a precise first set")
+	}
+	if !set.Empty() || set.Len() != 0 {
+		t.Errorf("first([^\\x00-\\xff]) = %s, want {}", set)
+	}
+	for _, b := range []byte{0, 'a', 0xff} {
+		if cc.Matches(b) {
+			t.Errorf("negated full-range class matches %#x", b)
+		}
+	}
+}
+
+func TestNegatedEmptyClassIsFullRange(t *testing.T) {
+	// A negated class with no ranges accepts every byte, including 0x00
+	// and 0xff at the bitmap's word boundaries. The surface syntax
+	// rejects an empty [^], so build the expression directly — the
+	// transform pipeline can still produce one (e.g. by dead-range
+	// elimination), and the bitmap compiler must cope.
+	a, _ := classOf(t, `[^\x00-\xff]`)
+	cc := &peg.CharClass{Negated: true}
+	set, _ := FirstOfExpr(a, cc)
+	if set.Len() != 256 {
+		t.Fatalf("first([^]) has %d bytes, want 256", set.Len())
+	}
+	for _, b := range []byte{0x00, 0x3f, 0x40, 0x7f, 0x80, 0xbf, 0xc0, 0xff} {
+		if !set.Has(b) || !cc.Matches(b) {
+			t.Errorf("byte %#x missing from negated empty class", b)
+		}
+	}
+}
+
+func TestCaseInsensitiveLiteralFirstUnion(t *testing.T) {
+	// The grammar language spells case-insensitive keywords as an
+	// alternation (or a class head): the choice's first set must union
+	// both cases, so dispatch cannot prune the other-case alternative.
+	g := grammarOf(t, `
+public S = KW ;
+KW = "select" / "SELECT" / [sS] "et" ;
+`)
+	a := Analyze(g)
+	set := a.First["m.KW"]
+	if set == nil {
+		t.Fatal("no first set for m.KW")
+	}
+	if !set.Has('s') || !set.Has('S') {
+		t.Errorf("first(KW) = %s, want both 's' and 'S'", set)
+	}
+	if set.Len() != 2 {
+		t.Errorf("first(KW) = %s, want exactly {S s}", set)
+	}
+	if !a.FirstPrecise["m.KW"] {
+		t.Error("literal/class alternation must stay precise")
+	}
+}
+
+func TestNullableLiteralContributesNothing(t *testing.T) {
+	// An empty literal matches without consuming: no first byte.
+	g := grammarOf(t, `
+public S = E "x" ;
+E = "" ;
+`)
+	a := Analyze(g)
+	if !a.Nullable["m.E"] {
+		t.Fatal("empty literal must be nullable")
+	}
+	if set := a.First["m.E"]; !set.Empty() {
+		t.Errorf("first(\"\") = %s, want {}", set)
+	}
+	// The enclosing sequence unions past the nullable prefix.
+	if set := a.First["m.S"]; !set.Has('x') || set.Len() != 1 {
+		t.Errorf("first(S) = %s, want {x}", set)
+	}
+}
+
+func TestNullablePrefixFirstUnion(t *testing.T) {
+	// A sequence unions first sets up to and including the first
+	// non-nullable item; everything after it must not leak in.
+	g := grammarOf(t, `
+public S = A? B* C "z" ;
+A = "a" ;
+B = "b" ;
+C = "c" ;
+`)
+	a := Analyze(g)
+	set := a.First["m.S"]
+	for _, b := range []byte{'a', 'b', 'c'} {
+		if !set.Has(b) {
+			t.Errorf("first(S) = %s, missing %q", set, b)
+		}
+	}
+	if set.Has('z') {
+		t.Errorf("first(S) = %s: 'z' leaked past the non-nullable C", set)
+	}
+	if a.Nullable["m.S"] {
+		t.Error("S consumes C; not nullable")
+	}
+	if !a.FirstPrecise["m.S"] {
+		t.Error("optional/star prefixes keep the first set precise")
+	}
+}
+
+func TestPredicateHeadedFirstIsImprecise(t *testing.T) {
+	// Predicates consume nothing and only constrain; they contribute no
+	// bytes but poison precision, so dispatch keeps an over-approximate
+	// set and the engine may not treat it as exact.
+	g := grammarOf(t, `
+public S = P N ;
+P = &[0-9] [0-9a-f]+ ;
+N = ![,\]] Item ;
+Item = [a-z]+ ;
+`)
+	a := Analyze(g)
+	pset := a.First["m.P"]
+	// The &[0-9] guard means only digits can really start P, but firstOf
+	// must not shrink below the consuming item's set: over-approximation.
+	for b := byte('0'); b <= 'f'; b++ {
+		if (b <= '9' || b >= 'a') && !pset.Has(b) {
+			t.Errorf("first(P) = %s, missing %q", pset, b)
+		}
+	}
+	if a.FirstPrecise["m.P"] {
+		t.Error("predicate-headed production must be imprecise")
+	}
+	nset := a.First["m.N"]
+	if !nset.Has('a') || !nset.Has('z') || nset.Has(',') {
+		t.Errorf("first(N) = %s, want the Item letters only", nset)
+	}
+	if a.FirstPrecise["m.N"] {
+		t.Error("negative-lookahead head must be imprecise")
+	}
+	// Imprecise sets still gate soundly: a byte outside the set cannot
+	// start a match, because predicates never extend the true first set.
+	if pset.Has(',') || nset.Has('.') {
+		t.Error("over-approximation admitted bytes no alternative can consume")
+	}
+}

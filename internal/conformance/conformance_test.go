@@ -69,6 +69,10 @@ func corporaFor(top string) []corpusCase {
 type lane struct {
 	name string
 	prog *vm.Program
+	// strictErr: the lane shares the default transform pipeline (and
+	// dispatch tables) with the optimized reference, so its error text
+	// must be byte-identical, not merely accept/reject-equal.
+	strictErr bool
 }
 
 func lanesFor(t *testing.T, top string) []lane {
@@ -88,11 +92,19 @@ func lanesFor(t *testing.T, top string) []lane {
 		}
 		return prog
 	}
+	noscan := vm.Optimized()
+	noscan.ScanFusion = false
+	pgo := vm.Optimized()
+	// Static PGO (nil Calls): every small production is inlined, so the
+	// inlining fast path runs over the whole corpus, not just hot spots.
+	pgo.PGO = &vm.PGO{}
 	return []lane{
-		{"naive", mk(transform.Baseline(), vm.NaivePackrat())},
+		{"naive", mk(transform.Baseline(), vm.NaivePackrat()), false},
 		{"full-packrat", mk(transform.Defaults(),
-			vm.Options{Memoize: true, MemoEverything: true, ChunkedMemo: true, Dispatch: true})},
-		{"optimized", mk(transform.Defaults(), vm.Optimized())},
+			vm.Options{Memoize: true, MemoEverything: true, ChunkedMemo: true, Dispatch: true}), true},
+		{"optimized", mk(transform.Defaults(), vm.Optimized()), true},
+		{"optimized-noscan", mk(transform.Defaults(), noscan), true},
+		{"optimized+pgo", mk(transform.Defaults(), pgo), true},
 	}
 }
 
@@ -103,12 +115,13 @@ func errStr(err error) string {
 	return err.Error()
 }
 
-// TestInterpretedEnginesAgree runs the three interpreted lanes over every
+// TestInterpretedEnginesAgree runs the interpreted lanes over every
 // grammar's corpus. The optimized engine is the reference: every lane
-// must match its accept/reject decision and its value; the two lanes
-// compiled through the default transform pipeline must also report
-// byte-identical errors (the naive lane uses the baseline pipeline, whose
-// diagnostics legitimately name different productions).
+// must match its accept/reject decision and its value; the lanes
+// compiled through the default transform pipeline (full-packrat,
+// scan-fusion-disabled, PGO-inlined) must also report byte-identical
+// errors (the naive lane uses the baseline pipeline, whose diagnostics
+// legitimately name different productions).
 func TestInterpretedEnginesAgree(t *testing.T) {
 	for _, top := range grammars.TopModules() {
 		top := top
@@ -116,13 +129,19 @@ func TestInterpretedEnginesAgree(t *testing.T) {
 			t.Parallel()
 			lanes := lanesFor(t, top)
 			ref := lanes[2]
+			if ref.name != "optimized" {
+				t.Fatalf("lanes[2] = %q, want the optimized reference", ref.name)
+			}
 			for _, c := range corporaFor(top) {
 				src := text.NewSource(c.name, c.input)
 				refV, _, refErr := ref.prog.Parse(src)
 				if c.mustParse && refErr != nil {
 					t.Fatalf("%s/%s: generated corpus must parse, got %v", top, c.name, refErr)
 				}
-				for _, l := range lanes[:2] {
+				for _, l := range lanes {
+					if l.name == ref.name {
+						continue
+					}
 					v, _, err := l.prog.Parse(src)
 					if (err == nil) != (refErr == nil) {
 						t.Fatalf("%s/%s: %s accept=%v vs optimized accept=%v\n %s: %v\n optimized: %v",
@@ -131,7 +150,7 @@ func TestInterpretedEnginesAgree(t *testing.T) {
 					if err == nil && !ast.Equal(v, refV) {
 						t.Fatalf("%s/%s: %s value differs from optimized", top, c.name, l.name)
 					}
-					if l.name == "full-packrat" && errStr(err) != errStr(refErr) {
+					if l.strictErr && errStr(err) != errStr(refErr) {
 						t.Fatalf("%s/%s: error text differs\n full-packrat: %v\n optimized:    %v",
 							top, c.name, err, refErr)
 					}

@@ -48,7 +48,7 @@ func TestTable1Shapes(t *testing.T) {
 
 func TestTable2Shapes(t *testing.T) {
 	tbl := Table2(fast())
-	if len(tbl.Rows) != 9 {
+	if len(tbl.Rows) != 11 {
 		t.Fatalf("rows = %d: %v", len(tbl.Rows), tbl.Notes)
 	}
 	if cell(tbl, 0, 0) != "all-on" || cell(tbl, 0, 2) != "1.00x" {
@@ -76,7 +76,7 @@ func TestTable2Shapes(t *testing.T) {
 
 func TestTable3Shapes(t *testing.T) {
 	tbl := Table3(fast())
-	if len(tbl.Rows) != 12 {
+	if len(tbl.Rows) != 16 {
 		t.Fatalf("rows = %d: %v", len(tbl.Rows), tbl.Notes)
 	}
 	// Every corpus must have its optimized engine at rel-time 1.00x.

@@ -42,13 +42,59 @@ type Options struct {
 	// ChunkedMemo lays memo entries out in per-position chunks; otherwise
 	// a hash map keyed by (position, production) is used.
 	ChunkedMemo bool
-	// Dispatch enables first-byte dispatch for choices and calls.
+	// Dispatch enables first-byte dispatch for choices and calls. With it,
+	// every choice of up to 64 alternatives gets a 256-entry byte→bitmask
+	// pruning table built from the first sets of its alternatives, so one
+	// table probe selects the alternatives worth trying (nullable
+	// alternatives are never pruned — the nullable-prefix fallback).
 	Dispatch bool
+	// ScanFusion fuses void-context repetitions of a character class or a
+	// literal into scan nodes that consume a whole run in one interpreter
+	// frame — the byte-level hot path for whitespace, identifiers, numbers,
+	// comments, and string bodies.
+	ScanFusion bool
+	// PGO, when non-nil, enables profile-guided inlining: small hot
+	// productions are compiled inline at their call sites and their memo
+	// columns are dropped. See the PGO type.
+	PGO *PGO
 }
+
+// PGO is the hot-production report fed to Compile for profile-guided
+// inlining. Build one from a profiler run with Profile.PGO, decode a
+// `modpeg profile -json` report with LoadPGO, or use the zero value
+// (&PGO{}) to treat every eligible production as hot (static
+// small-production inlining).
+//
+// A production is inlined when it is non-recursive, not the root, its
+// body cost (analysis.ExprCost) is at most MaxCost, and — when Calls is
+// non-nil — its observed call count is at least HotCalls. Inlined
+// productions lose their memo column: their bodies are replicated at
+// each call site (bounded by a small transitive-inline depth) and their
+// work is charged to the enclosing memoized production.
+type PGO struct {
+	// Calls maps fully qualified production names to observed call
+	// counts (the profiler's calls+memo_hits per production). nil means
+	// "no profile": every production passing the static tests is hot.
+	Calls map[string]int64
+	// HotCalls is the minimum observed call count for inlining when
+	// Calls is non-nil. Zero or negative selects the default (32).
+	HotCalls int64
+	// MaxCost is the maximum analysis.ExprCost body size for inlining.
+	// Zero or negative selects the default (48).
+	MaxCost int
+}
+
+const (
+	pgoDefaultHotCalls = 32
+	pgoDefaultMaxCost  = 48
+	// maxInlineDepth bounds transitive inlining (an inlined body whose
+	// calls are themselves inline candidates), capping code growth.
+	maxInlineDepth = 3
+)
 
 // Optimized returns the full paper engine configuration.
 func Optimized() Options {
-	return Options{Memoize: true, ChunkedMemo: true, Dispatch: true}
+	return Options{Memoize: true, ChunkedMemo: true, Dispatch: true, ScanFusion: true}
 }
 
 // NaivePackrat returns the memoize-everything baseline (hash-map memo, no
@@ -75,6 +121,12 @@ func (o Options) String() string {
 		}
 		if o.Dispatch {
 			s += "+dispatch"
+		}
+		if o.ScanFusion {
+			s += "+scan"
+		}
+		if o.PGO != nil {
+			s += "+pgo"
 		}
 		if o.MemoEverything {
 			s += "+memoall"
@@ -182,6 +234,37 @@ func Compile(g *peg.Grammar, opts Options) (*Program, error) {
 	p.root = root
 	p.SetLabel(defaultGrammarLabel(g.Root))
 
+	// Profile-guided inlining: decide the inline set up front, before memo
+	// columns are assigned, so inlined productions drop their columns and
+	// the chunk directory shrinks. Call sites beyond the transitive-inline
+	// depth bound still emit nCall, which then behaves as a transient call.
+	inline := map[string]bool{}
+	if pgo := opts.PGO; pgo != nil {
+		hot := pgo.HotCalls
+		if hot <= 0 {
+			hot = pgoDefaultHotCalls
+		}
+		maxCost := pgo.MaxCost
+		if maxCost <= 0 {
+			maxCost = pgoDefaultMaxCost
+		}
+		// Recursive productions are eligible too: the transitive-inline
+		// depth cap bounds the expansion, and call sites at the frontier
+		// fall back to plain (transient) calls. That matters in practice —
+		// expression precedence towers are recursive through the
+		// parenthesized-primary cycle, yet their memo columns almost never
+		// hit, making them the most profitable productions to inline.
+		for _, name := range g.Order {
+			if name == g.Root || a.Cost[name] > maxCost {
+				continue
+			}
+			if pgo.Calls != nil && pgo.Calls[name] < hot {
+				continue
+			}
+			inline[name] = true
+		}
+	}
+
 	// Memo columns are assigned hottest-first (by static reference count)
 	// so that frequently probed productions share the first chunks of
 	// every position's chunk directory — the layout half of the chunk
@@ -189,6 +272,9 @@ func Compile(g *peg.Grammar, opts Options) (*Program, error) {
 	memoized := make([]string, 0, len(g.Order))
 	for _, name := range g.Order {
 		pr := g.Prods[name]
+		if inline[name] {
+			continue
+		}
 		if opts.Memoize && (opts.MemoEverything || !pr.Attrs.Has(peg.AttrTransient)) {
 			memoized = append(memoized, name)
 		}
@@ -202,7 +288,7 @@ func Compile(g *peg.Grammar, opts Options) (*Program, error) {
 	}
 	p.memoCols = len(memoized)
 
-	c := &compiler{prog: p, analysis: a}
+	c := &compiler{prog: p, analysis: a, inline: inline}
 	p.prods = make([]prodInfo, len(g.Order))
 	for i, name := range g.Order {
 		pr := g.Prods[name]
@@ -211,7 +297,12 @@ func Compile(g *peg.Grammar, opts Options) (*Program, error) {
 		info.display = displayNameOf(name)
 		info.attrs = pr.Attrs
 		info.nullable = a.Nullable[name]
-		info.firstOK = a.FirstPrecise[name] && !a.Nullable[name]
+		// Fast-fail on the first byte for every non-nullable production:
+		// the first set is an over-approximation of what a non-empty
+		// match can start with even when imprecise (predicates constrain,
+		// never extend, it), so a byte outside the set is a definitive
+		// failure, not merely a skip.
+		info.firstOK = !a.Nullable[name]
 		if f := a.First[name]; f != nil {
 			info.first = *f
 		}
@@ -249,8 +340,46 @@ type nLit struct {
 }
 
 type nClass struct {
-	tbl  *[256]bool
+	// set is the class as a 256-bit bitmap: matching is one table probe
+	// (two shifts and a mask) regardless of how many ranges the source
+	// class had, and negated classes cost the same as positive ones.
+	set  analysis.ByteSet
 	void bool // no token value needed
+}
+
+// nScanClass is a fused (class)* / (class)+ repetition in void context: it
+// consumes the whole run of matching bytes in one interpreter frame
+// instead of one frame per byte. When the class rejects exactly one byte
+// (the [^"]* shape), stopOK routes the scan through strings.IndexByte.
+type nScanClass struct {
+	set    analysis.ByteSet
+	min    int  // minimum run length (0 for *, 1 for +)
+	stop   byte // when stopOK: the single byte the class rejects
+	stopOK bool
+}
+
+// nScanLit is a fused (literal)* / (literal)+ repetition in void context.
+type nScanLit struct {
+	text    string
+	display string
+	min     int
+}
+
+// choiceTable is an nChoice's first-set pruning table: masks[b] has bit i
+// set when alternative i is worth trying with b as the next input byte —
+// b is in the alternative's first-set over-approximation, or the
+// alternative is nullable (the nullable-prefix fallback: it may match
+// without consuming, so no byte may prune it). eof is the mask at end of
+// input, where only nullable alternatives can still match. Pruning with
+// an over-approximate first set is sound even when the set is imprecise
+// (predicates constrain, never extend, what a match may start with), and
+// it preserves failure positions: a pruned alternative could not have
+// consumed its first byte, so every failure it would have recorded sits
+// at the choice's own position.
+type choiceTable struct {
+	masks [256]uint64
+	eof   uint64
+	all   uint64 // every alternative's bit, for skip accounting
 }
 
 type nAny struct{ void bool }
@@ -287,6 +416,10 @@ type nSeq struct {
 
 type nChoice struct {
 	alts []nAlt
+	// tbl, when non-nil, prunes alternatives by next byte (see
+	// choiceTable); the per-alternative dispatchOK path is the fallback
+	// for choices too wide for a mask word.
+	tbl *choiceTable
 }
 
 type nAlt struct {
@@ -320,25 +453,49 @@ type nLeftRec struct {
 	void     bool
 }
 
-func (nEmpty) isNode()    {}
-func (nLit) isNode()      {}
-func (*nClass) isNode()   {}
-func (nAny) isNode()      {}
-func (nCall) isNode()     {}
-func (*nSeq) isNode()     {}
-func (*nChoice) isNode()  {}
-func (*nRepeat) isNode()  {}
-func (*nOpt) isNode()     {}
-func (*nAnd) isNode()     {}
-func (*nNot) isNode()     {}
-func (*nCapture) isNode() {}
-func (*nLeftRec) isNode() {}
+// nInline is a production body inlined at a call site by profile-guided
+// inlining. It replicates parseProd's semantics minus the memo table and
+// the event hooks: the same dispatch fast-fail, the same failure record
+// naming the production, and the same value specialization (token for
+// text productions, nil for void, span fix-up for node values). kind is
+// the production's value rule as seen from this call site — a value the
+// site discards compiles to valVoid regardless of the production's own
+// kind.
+type nInline struct {
+	body    node
+	display string
+	kind    valueKind
+	// dispatch data, mirroring prodInfo (valid when firstOK).
+	firstOK bool
+	first   analysis.ByteSet
+}
+
+func (nEmpty) isNode()      {}
+func (nLit) isNode()        {}
+func (*nClass) isNode()     {}
+func (*nScanClass) isNode() {}
+func (*nScanLit) isNode()   {}
+func (nAny) isNode()        {}
+func (nCall) isNode()       {}
+func (*nSeq) isNode()       {}
+func (*nChoice) isNode()    {}
+func (*nRepeat) isNode()    {}
+func (*nOpt) isNode()       {}
+func (*nAnd) isNode()       {}
+func (*nNot) isNode()       {}
+func (*nCapture) isNode()   {}
+func (*nLeftRec) isNode()   {}
+func (*nInline) isNode()    {}
 
 // ------------------------------------------------------------- compiler
 
 type compiler struct {
 	prog     *Program
 	analysis *analysis.Analysis
+	// inline is the PGO inline set; inlineDepth tracks transitive
+	// inlining so code growth stays bounded (maxInlineDepth).
+	inline      map[string]bool
+	inlineDepth int
 }
 
 // compile translates e into executable form; void indicates that the value
@@ -350,14 +507,16 @@ func (c *compiler) compile(e peg.Expr, void bool) node {
 	case *peg.Literal:
 		return nLit{text: e.Text, display: fmt.Sprintf("%q", e.Text)}
 	case *peg.CharClass:
-		var tbl [256]bool
-		for b := 0; b < 256; b++ {
-			tbl[b] = e.Matches(byte(b))
-		}
-		return &nClass{tbl: &tbl, void: void}
+		return &nClass{set: classSet(e), void: void}
 	case *peg.Any:
 		return nAny{void: void}
 	case *peg.NonTerm:
+		if c.inline[e.Name] && c.inlineDepth < maxInlineDepth {
+			c.inlineDepth++
+			n := c.inlineCall(e.Name, void)
+			c.inlineDepth--
+			return n
+		}
 		return nCall{prod: c.prog.index[e.Name]}
 	case *peg.Capture:
 		if void {
@@ -375,13 +534,35 @@ func (c *compiler) compile(e peg.Expr, void bool) node {
 		return &nOpt{body: c.compile(e.Expr, bodyVoid), void: bodyVoid}
 	case *peg.Repeat:
 		bodyVoid := void || !c.analysis.ExprValued(e.Expr)
+		if c.prog.opts.ScanFusion && bodyVoid {
+			switch b := e.Expr.(type) {
+			case *peg.CharClass:
+				n := &nScanClass{set: classSet(b), min: e.Min}
+				if n.set.Len() == 255 {
+					for i := 0; i < 256; i++ {
+						if !n.set.Has(byte(i)) {
+							n.stop, n.stopOK = byte(i), true
+							break
+						}
+					}
+				}
+				return n
+			case *peg.Literal:
+				if len(b.Text) > 0 {
+					return &nScanLit{text: b.Text, display: fmt.Sprintf("%q", b.Text), min: e.Min}
+				}
+			}
+		}
 		return &nRepeat{min: e.Min, body: c.compile(e.Expr, bodyVoid), void: bodyVoid}
 	case *peg.Seq:
-		return c.compileSeq(e, void)
+		return collapseSeq(c.compileSeq(e, void))
 	case *peg.Choice:
+		if len(e.Alts) == 1 {
+			return collapseSeq(c.compileSeq(e.Alts[0], void))
+		}
 		n := &nChoice{alts: make([]nAlt, len(e.Alts))}
 		for i, alt := range e.Alts {
-			na := nAlt{n: c.compileSeq(alt, void)}
+			na := nAlt{n: collapseSeq(c.compileSeq(alt, void))}
 			if c.prog.opts.Dispatch {
 				set, precise := c.firstOf(alt)
 				if precise && !c.nullable(alt) {
@@ -390,6 +571,9 @@ func (c *compiler) compile(e peg.Expr, void bool) node {
 				}
 			}
 			n.alts[i] = na
+		}
+		if c.prog.opts.Dispatch && len(e.Alts) <= 64 {
+			n.tbl = c.choiceTableOf(e)
 		}
 		return n
 	case *peg.LeftRec:
@@ -435,6 +619,97 @@ func (c *compiler) compileSeq(s *peg.Seq, void bool) *nSeq {
 			bound: it.Bind != "",
 			role:  role,
 		})
+	}
+	return n
+}
+
+// collapseSeq unwraps a pass-through sequence of exactly one plain item:
+// its value is the item's value verbatim (seqValue's single-element
+// case), so the wrapping frame is pure interpretation overhead — one
+// eval dispatch per attempt, paid on every choice alternative. Sequences
+// with a constructor, bindings, or the splice protocol keep their frame.
+func collapseSeq(n *nSeq) node {
+	if len(n.items) == 1 && n.ctor == "" && !n.hasBind && !n.splice && n.items[0].role == roleNormal {
+		return n.items[0].n
+	}
+	return n
+}
+
+// classSet builds the bitmap of a character class, byte-for-byte
+// equivalent to CharClass.Matches.
+func classSet(e *peg.CharClass) analysis.ByteSet {
+	var s analysis.ByteSet
+	for _, r := range e.Ranges {
+		s.AddRange(r.Lo, r.Hi)
+	}
+	if e.Negated {
+		s.Invert()
+	}
+	return s
+}
+
+// choiceTableOf builds the byte→alternatives pruning table of a choice,
+// or returns nil when no byte would prune anything (the table would be
+// pure overhead). Unlike the per-alternative dispatchOK path this uses
+// the first set whether or not it is precise: over-approximate sets are
+// always sound to prune on (see the choiceTable comment); precision only
+// matters for the whole-production fast-fail, which turns a byte miss
+// into a definitive failure rather than a skip.
+func (c *compiler) choiceTableOf(e *peg.Choice) *choiceTable {
+	tbl := &choiceTable{}
+	for i, alt := range e.Alts {
+		bit := uint64(1) << i
+		tbl.all |= bit
+		if c.nullable(alt) {
+			tbl.eof |= bit
+			for b := 0; b < 256; b++ {
+				tbl.masks[b] |= bit
+			}
+			continue
+		}
+		set, _ := c.firstOf(alt)
+		for b := 0; b < 256; b++ {
+			if set.Has(byte(b)) {
+				tbl.masks[b] |= bit
+			}
+		}
+	}
+	if tbl.eof != tbl.all {
+		return tbl
+	}
+	for b := 0; b < 256; b++ {
+		if tbl.masks[b] != tbl.all {
+			return tbl
+		}
+	}
+	return nil
+}
+
+// inlineCall compiles production name's body inline at a call site (PGO
+// inlining). void marks a site that discards the value, which degrades
+// the site's value rule to valVoid and compiles the body value-free.
+func (c *compiler) inlineCall(name string, void bool) node {
+	pr := c.analysis.Grammar.Prods[name]
+	kind := valNormal
+	switch {
+	case pr.Attrs.Has(peg.AttrText):
+		kind = valText
+	case pr.Attrs.Has(peg.AttrVoid):
+		kind = valVoid
+	}
+	bodyVoid := kind != valNormal || void
+	siteKind := kind
+	if void {
+		siteKind = valVoid
+	}
+	n := &nInline{
+		body:    c.compile(pr.Choice, bodyVoid),
+		display: displayNameOf(name),
+		kind:    siteKind,
+	}
+	n.firstOK = !c.analysis.Nullable[name] // see prodInfo.firstOK
+	if f := c.analysis.First[name]; f != nil {
+		n.first = *f
 	}
 	return n
 }

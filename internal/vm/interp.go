@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strings"
 	"time"
@@ -688,7 +689,7 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 
 	case *nClass:
 		ps.note(pos + 1)
-		if pos >= len(ps.in) || !n.tbl[ps.in[pos]] {
+		if pos >= len(ps.in) || !n.set.Has(ps.in[pos]) {
 			ps.fail(pos, "character class")
 			return 0, nil, false
 		}
@@ -696,6 +697,49 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 			return pos + 1, nil, true
 		}
 		return pos + 1, ps.values.newToken(ps.in[pos:pos+1], text.NewSpan(text.Pos(pos), text.Pos(pos+1))), true
+
+	case *nScanClass:
+		// One frame for the whole run. The byte that stops the scan (or
+		// the end-of-input probe) is examined input, and it records the
+		// same failure the last per-byte class attempt would have — so
+		// watermarks, error text, and farthest-failure positions are
+		// identical to the unfused repetition.
+		cur := pos
+		if n.stopOK {
+			if i := strings.IndexByte(ps.in[cur:], n.stop); i >= 0 {
+				cur += i
+			} else {
+				cur = len(ps.in)
+			}
+		} else {
+			for cur < len(ps.in) && n.set.Has(ps.in[cur]) {
+				cur++
+			}
+		}
+		ps.note(cur + 1)
+		ps.fail(cur, "character class")
+		if cur-pos < n.min {
+			return 0, nil, false
+		}
+		return cur, nil, true
+
+	case *nScanLit:
+		cur := pos
+		count := 0
+		for {
+			end := cur + len(n.text)
+			ps.note(end)
+			if end > len(ps.in) || ps.in[cur:end] != n.text {
+				ps.fail(cur, n.display)
+				break
+			}
+			cur = end
+			count++
+		}
+		if count < n.min {
+			return 0, nil, false
+		}
+		return cur, nil, true
 
 	case nAny:
 		ps.note(pos + 1)
@@ -792,6 +836,27 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 		return ps.evalSeq(n, pos)
 
 	case *nChoice:
+		if n.tbl != nil {
+			// First-set pruning: one probe selects the alternatives worth
+			// trying for the next byte; the rest are skipped without a
+			// frame. Reading the byte (or probing the end of input) is an
+			// examined-region fact either way.
+			ps.note(pos + 1)
+			mask := n.tbl.eof
+			if pos < len(ps.in) {
+				mask = n.tbl.masks[ps.in[pos]]
+			}
+			if skipped := mask ^ n.tbl.all; skipped != 0 {
+				ps.stats.DispatchSkips += bits.OnesCount64(skipped)
+			}
+			for m := mask; m != 0; m &= m - 1 {
+				alt := &n.alts[bits.TrailingZeros64(m)]
+				if end, val, ok := ps.eval(alt.n, pos); ok {
+					return end, val, true
+				}
+			}
+			return 0, nil, false
+		}
 		var b byte
 		haveByte := pos < len(ps.in)
 		if haveByte {
@@ -811,6 +876,36 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 			}
 		}
 		return 0, nil, false
+
+	case *nInline:
+		// A PGO-inlined production call: parseProd minus the memo table,
+		// the hooks, and the depth accounting. The dispatch fast-fail and
+		// the failure record naming the production are preserved so error
+		// reports match the memoized engine's.
+		if ps.prog.opts.Dispatch && n.firstOK {
+			ps.note(pos + 1)
+			if pos >= len(ps.in) || !n.first.Has(ps.in[pos]) {
+				ps.stats.DispatchSkips++
+				ps.fail(pos, n.display)
+				return 0, nil, false
+			}
+		}
+		end, val, ok := ps.eval(n.body, pos)
+		if !ok {
+			ps.fail(pos, n.display)
+			return 0, nil, false
+		}
+		switch n.kind {
+		case valText:
+			val = ps.values.newToken(ps.in[pos:end], text.NewSpan(text.Pos(pos), text.Pos(end)))
+		case valVoid:
+			val = nil
+		default:
+			if nd, isNode := val.(*ast.Node); isNode && nd != nil && !nd.Span.IsValid() {
+				nd.Span = text.NewSpan(text.Pos(pos), text.Pos(end))
+			}
+		}
+		return end, val, true
 
 	case *nLeftRec:
 		end, acc, ok := ps.eval(n.seed, pos)

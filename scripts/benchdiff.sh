@@ -1,0 +1,67 @@
+#!/bin/sh
+# benchdiff.sh <old.json> <new.json> — print old-vs-new ns/op deltas for
+# the Table 3 engine-comparison rows of two bench.sh reports. CI runs it
+# with the committed report as "old" and the fresh run as "new" and
+# uploads the output as a job artifact, so every PR shows what it did to
+# the engine matchups. A seed/ prefix on a row name (the hand-carried
+# reference rows) is ignored when pairing rows, so the recorded seed
+# baseline diffs against the freshly measured row of the same name.
+# Rows present in only one report print "n/a" instead of failing: old
+# reports predate rows that newer benchmarks add.
+set -eu
+if [ $# -ne 2 ]; then
+	echo "usage: benchdiff.sh <old.json> <new.json>" >&2
+	exit 2
+fi
+old="$1"
+new="$2"
+for f in "$old" "$new"; do
+	if [ ! -f "$f" ]; then
+		echo "benchdiff: $f not found" >&2
+		exit 1
+	fi
+done
+
+# Emit "name ns" per Table 3 row, seed/ prefix stripped. Seed reference
+# rows come first so a measured row of the same name wins (the awk below
+# keeps the last value seen): a report that carries both the seed row
+# and a fresh measurement diffs with the measurement.
+rows() {
+	sed -n 's/.*"name": *"\([^"]*Table3Engines[^"]*\)".*"ns_per_op": *\([0-9][0-9]*\).*/\1 \2/p' "$1" >/tmp/benchdiff.$$
+	grep '^seed/' /tmp/benchdiff.$$ | sed 's/^seed\///' || true
+	grep -v '^seed/' /tmp/benchdiff.$$ || true
+	rm -f /tmp/benchdiff.$$
+}
+
+{
+	rows "$old" | sed 's/^/old /'
+	rows "$new" | sed 's/^/new /'
+} | awk '
+	$1 == "old" { oldns[$2] = $3; names[$2] = 1 }
+	$1 == "new" { newns[$2] = $3; names[$2] = 1 }
+	END {
+		printf "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+		found = 0
+		for (n in names) order[++found] = n
+		# Stable order: sort names lexically (portable insertion sort;
+		# asort is a gawk extension).
+		for (i = 2; i <= found; i++) {
+			v = order[i]
+			for (j = i - 1; j >= 1 && order[j] > v; j--) order[j + 1] = order[j]
+			order[j + 1] = v
+		}
+		for (i = 1; i <= found; i++) {
+			n = order[i]
+			o = (n in oldns) ? oldns[n] : ""
+			w = (n in newns) ? newns[n] : ""
+			if (o != "" && w != "")
+				printf "%-55s %14d %14d %8.1f%%\n", n, o, w, (w - o) * 100.0 / o
+			else
+				printf "%-55s %14s %14s %9s\n", n, (o == "" ? "n/a" : o), (w == "" ? "n/a" : w), "n/a"
+		}
+		if (found == 0) {
+			print "benchdiff: no Table 3 rows in either report" > "/dev/stderr"
+			exit 1
+		}
+	}
+'
