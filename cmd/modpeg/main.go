@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -31,6 +32,7 @@ import (
 	"modpeg/internal/core"
 	"modpeg/internal/experiments"
 	"modpeg/internal/grammars"
+	"modpeg/internal/loadbench"
 	"modpeg/internal/peg"
 	"modpeg/internal/serve"
 	"modpeg/internal/syntax"
@@ -68,6 +70,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdExperiment(rest, stdout)
 	case "serve":
 		err = cmdServe(rest, stderr)
+	case "loadtest":
+		err = cmdLoadtest(rest, stdout, stderr)
 	case "fmt":
 		err = cmdFmt(rest, stdin, stdout)
 	case "help", "-h", "--help":
@@ -109,12 +113,21 @@ commands:
                                    generated corpus) per production
   generate [-d dir] [-pkg p] [-o file] <top>
                                    emit a standalone Go parser
-  experiment [-kb n] [-mintime d] <table1..table5|table7..table9|limits|fig1..fig3|hotprods|all>
+  experiment [-kb n] [-mintime d] <table1..table5|table7..table9|table11|limits|fig1..fig3|hotprods|all>
                                    run the paper-reproduction experiments
   serve    [-addr host:port] [-grammars a,b] [-d dir] [-timeout d] [-max-input n]
            [-max-memo n] [-max-depth n] [-strict] [-max-body n] [-pprof] [-quiet]
                                    run the HTTP parse service: POST /parse,
                                    GET /metrics (Prometheus), /healthz, /readyz
+  loadtest [-url http://host:port] [-mode closed|open|ramp] [-workers n] [-rps r]
+           [-duration d] [-ramp-start r] [-ramp-step r] [-ramp-max r] [-step d]
+           [-slo-p99 d] [-slo-errors f] [-seed n] [-warmup d] [-no-adversarial]
+           [-omit-values] [-no-scrape] [-json file] [-min-rps r] [-max-p99 d]
+                                   drive a serve endpoint (or a spawned
+                                   in-process server) with mixed-grammar
+                                   traffic and report latency quantiles,
+                                   throughput, error breakdown, and server
+                                   telemetry; -min-rps/-max-p99 gate CI
   fmt      [-w] [file...]          reformat .mpeg module files (stdin without args)
 `)
 }
@@ -738,13 +751,143 @@ func cmdServe(args []string, stderr io.Writer) error {
 	return s.ListenAndServe(ctx, *addr)
 }
 
+// cmdLoadtest drives a serve endpoint with the loadbench capacity
+// harness and prints the report. Without -url it spawns an in-process
+// server on an ephemeral port (all bundled grammars, serve's default
+// limits), so a single command is a self-contained capacity check.
+// -min-rps and -max-p99 are regression gates on the gate phase (the
+// last SLO-passing phase): a violation is a non-zero exit.
+func cmdLoadtest(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	url := fs.String("url", "", "serve endpoint to drive (default: spawn an in-process server)")
+	dir := fs.String("d", "", "module directory for the spawned server")
+	mode := fs.String("mode", "closed", "load mode: closed | open | ramp")
+	workers := fs.Int("workers", 8, "closed-loop workers / open-loop in-flight cap")
+	rps := fs.Float64("rps", 0, "open-loop target arrival rate (requests/s)")
+	duration := fs.Duration("duration", 10*time.Second, "phase duration")
+	rampStart := fs.Float64("ramp-start", 50, "ramp mode: first target RPS")
+	rampStep := fs.Float64("ramp-step", 50, "ramp mode: RPS increment per step")
+	rampMax := fs.Float64("ramp-max", 1000, "ramp mode: highest target RPS")
+	stepDur := fs.Duration("step", 0, "ramp mode: per-step duration (default: -duration)")
+	sloP99 := fs.Duration("slo-p99", 50*time.Millisecond, "SLO: p99 latency ceiling (0 disables)")
+	sloErr := fs.Float64("slo-errors", 0.001, "SLO: tolerated unexpected-error rate")
+	seed := fs.Int64("seed", 1, "corpus shuffle seed")
+	warmup := fs.Duration("warmup", 500*time.Millisecond, "unmeasured warmup burst (0 = none)")
+	plain := fs.Bool("no-adversarial", false, "drop the adversarial corpus items")
+	omitValues := fs.Bool("omit-values", false, "ask the server to drop ASTs from responses (parse capacity, not transfer capacity)")
+	noScrape := fs.Bool("no-scrape", false, "skip the /metrics correlation scrapes")
+	jsonOut := fs.String("json", "", "write the LOADTEST.json artifact to this file")
+	minRPS := fs.Float64("min-rps", 0, "gate: fail if the gate phase achieved less RPS")
+	maxP99 := fs.Duration("max-p99", 0, "gate: fail if the gate phase p99 exceeds this")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
+		return fmt.Errorf("usage: modpeg loadtest [-url http://host:port] [-d dir] [-mode closed|open|ramp] [-workers n] [-rps r] [-duration d] [-ramp-start r] [-ramp-step r] [-ramp-max r] [-step d] [-slo-p99 d] [-slo-errors f] [-seed n] [-warmup d] [-no-adversarial] [-omit-values] [-no-scrape] [-json file] [-min-rps r] [-max-p99 d]")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := *url
+	if base == "" {
+		s, err := serve.New(serve.Config{
+			ModuleDir: *dir,
+			Limits: modpeg.Limits{
+				MaxInputBytes:    4 << 20,
+				MaxMemoBytes:     64 << 20,
+				MaxCallDepth:     100000,
+				MaxParseDuration: 5 * time.Second,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srvCtx, srvStop := context.WithCancel(ctx)
+		done := make(chan struct{})
+		go func() { s.Serve(srvCtx, ln); close(done) }()
+		// The spawned server is disposable: give its graceful drain a
+		// moment, but don't hold the report hostage to slow in-flight
+		// parses the load generator already abandoned.
+		defer func() {
+			srvStop()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+			}
+		}()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(stderr, "loadtest: spawned in-process server at %s\n", base)
+	}
+
+	rep, err := loadbench.Run(ctx, loadbench.Config{
+		BaseURL:  base,
+		Corpus:   loadbench.DefaultCorpus(!*plain),
+		Mode:     *mode,
+		Workers:  *workers,
+		RPS:      *rps,
+		Duration: *duration,
+		Ramp: loadbench.RampConfig{
+			StartRPS: *rampStart, StepRPS: *rampStep, MaxRPS: *rampMax,
+			StepDuration: *stepDur,
+		},
+		SLO:           loadbench.SLO{MaxP99: *sloP99, MaxErrorRate: *sloErr},
+		Seed:          *seed,
+		OmitValues:    *omitValues,
+		Warmup:        *warmup,
+		ScrapeMetrics: !*noScrape,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteText(stdout); err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "loadtest: wrote %s\n", *jsonOut)
+	}
+
+	gp := rep.GatePhase()
+	if gp == nil {
+		return fmt.Errorf("loadtest: no phases completed")
+	}
+	var gateErrs []string
+	if *minRPS > 0 && gp.AchievedRPS < *minRPS {
+		gateErrs = append(gateErrs, fmt.Sprintf("achieved %.1f RPS < gate %.1f (phase %s)",
+			gp.AchievedRPS, *minRPS, gp.Label))
+	}
+	if *maxP99 > 0 && gp.P99NS > int64(*maxP99) {
+		gateErrs = append(gateErrs, fmt.Sprintf("p99 %s > gate %s (phase %s)",
+			time.Duration(gp.P99NS), *maxP99, gp.Label))
+	}
+	// The SLO verdict is the exit code only in ramp mode, where it
+	// drives the saturation search; closed/open runs are measurements,
+	// gated solely by the explicit -min-rps / -max-p99 floors.
+	if *mode == loadbench.ModeRamp && !rep.Pass {
+		gateErrs = append(gateErrs, "SLO verdict: FAIL")
+	}
+	if len(gateErrs) > 0 {
+		return fmt.Errorf("loadtest gates failed: %s", strings.Join(gateErrs, "; "))
+	}
+	return nil
+}
+
 func cmdExperiment(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	kb := fs.Int("kb", 40, "corpus size in KB for throughput experiments")
 	minTime := fs.Duration("mintime", 300*time.Millisecond, "measurement window per configuration")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
-		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|table7..table9|limits|fig1..fig3|hotprods|all>")
+		return fmt.Errorf("usage: modpeg experiment [-kb n] [-mintime d] <table1..table5|table7..table9|table11|limits|fig1..fig3|hotprods|all>")
 	}
 	opts := experiments.Options{InputKB: *kb, MinTime: *minTime}
 	if fs.Arg(0) == "all" {

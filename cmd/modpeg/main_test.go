@@ -539,3 +539,58 @@ func TestServeUsageErrors(t *testing.T) {
 		t.Fatalf("bad grammar: code=%d err=%q", code, errb)
 	}
 }
+
+func TestLoadtestCommand(t *testing.T) {
+	artifact := filepath.Join(t.TempDir(), "LOADTEST.json")
+	out, errb, code := runCmd(t, "", "loadtest",
+		"-duration", "400ms", "-workers", "2", "-warmup", "0s",
+		"-no-adversarial", "-slo-p99", "0s", "-slo-errors", "0.5",
+		"-json", artifact)
+	if code != 0 {
+		t.Fatalf("code = %d, err = %s", code, errb)
+	}
+	for _, frag := range []string{"mode=closed", "closed/w2", "outcomes (", "p99"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in report:\n%s", frag, out)
+		}
+	}
+	if !strings.Contains(errb, "spawned in-process server") {
+		t.Errorf("no spawn notice on stderr: %s", errb)
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Mode   string `json:"mode"`
+		Phases []struct {
+			Sent  int64 `json:"sent"`
+			P99NS int64 `json:"p99_ns"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact not JSON: %v", err)
+	}
+	if rep.Mode != "closed" || len(rep.Phases) != 1 || rep.Phases[0].Sent == 0 || rep.Phases[0].P99NS <= 0 {
+		t.Errorf("artifact incomplete: %s", data)
+	}
+}
+
+func TestLoadtestErrors(t *testing.T) {
+	_, errb, code := runCmd(t, "", "loadtest", "-mode", "bogus", "-warmup", "0s")
+	if code != 1 || !strings.Contains(errb, "unknown mode") {
+		t.Fatalf("bad mode: code=%d err=%q", code, errb)
+	}
+	_, errb, code = runCmd(t, "", "loadtest", "extra-arg")
+	if code != 1 || !strings.Contains(errb, "usage: modpeg loadtest") {
+		t.Fatalf("extra arg: code=%d err=%q", code, errb)
+	}
+	// An unreachable floor must flip the exit code via the gate.
+	_, errb, code = runCmd(t, "", "loadtest",
+		"-duration", "300ms", "-workers", "2", "-warmup", "0s",
+		"-no-adversarial", "-no-scrape", "-slo-p99", "0s", "-slo-errors", "0.5",
+		"-min-rps", "9999999")
+	if code != 1 || !strings.Contains(errb, "gates failed") {
+		t.Fatalf("gate: code=%d err=%q", code, errb)
+	}
+}

@@ -32,6 +32,19 @@ func ToJSON(v Value) (string, error) {
 	return string(data), nil
 }
 
+// ToJSONCompact renders a value as single-line JSON. Indented rendering
+// of a deeply nested AST is quadratic in the nesting depth (every line
+// carries its full indent prefix), so wire protocols must use this
+// form: a depth-2000 value serializes in linear size here but to
+// hundreds of megabytes through ToJSON.
+func ToJSONCompact(v Value) (string, error) {
+	data, err := json.Marshal(toJSONValue(v))
+	if err != nil {
+		return "", fmt.Errorf("ast: %w", err)
+	}
+	return string(data), nil
+}
+
 func toJSONValue(v Value) *jsonValue {
 	switch v := v.(type) {
 	case nil:

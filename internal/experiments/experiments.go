@@ -15,13 +15,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"runtime"
 	"strings"
 	"time"
 
 	"modpeg/internal/core"
 	"modpeg/internal/grammars"
+	"modpeg/internal/loadbench"
 	"modpeg/internal/peg"
+	"modpeg/internal/serve"
 	"modpeg/internal/syntax"
 	"modpeg/internal/telemetry"
 	"modpeg/internal/text"
@@ -107,7 +110,7 @@ func (t Table) Render() string {
 func All(opts Options) []Table {
 	return []Table{
 		Table1(), Table2(opts), Table3(opts), Table4(opts), Table5(opts),
-		Table7(opts), Table8(opts), Table9(opts),
+		Table7(opts), Table8(opts), Table9(opts), Table11(opts),
 		Fig1(opts), Fig2(opts), Fig3(opts), HotProds(opts),
 	}
 }
@@ -132,6 +135,8 @@ func ByID(id string, opts Options) (Table, error) {
 		return Table8(opts), nil
 	case "table9", "telemetry":
 		return Table9(opts), nil
+	case "table11", "capacity":
+		return Table11(opts), nil
 	case "fig1":
 		return Fig1(opts), nil
 	case "fig2":
@@ -1013,5 +1018,95 @@ func Table9(opts Options) Table {
 	}
 	t.Notes = append(t.Notes,
 		"bare = SetTelemetry(false); metrics = default registry+histograms; traced = Chrome trace-event hook to io.Discard")
+	return t
+}
+
+// --------------------------------------------------------------- table11
+
+// Table11 measures end-to-end service capacity: the loadbench harness
+// drives an in-process serve instance (closed loop, fixed worker
+// count) under three traffic shapes and reports throughput and
+// client-side latency quantiles. The contrast between "full" and
+// "omit-values" isolates AST-serialization cost from parse cost; the
+// contrast with "no-adversarial" shows what the worst-case corpus
+// items cost the mix.
+func Table11(opts Options) Table {
+	opts = opts.normalized()
+	t := Table{
+		ID:     "Table 11",
+		Title:  "serve capacity: closed-loop RPS and latency by traffic shape",
+		Header: []string{"traffic", "rps", "p50", "p99", "p99.9", "requests", "errors"},
+	}
+	s, err := serve.New(serve.Config{
+		Limits: vm.Limits{
+			MaxInputBytes:    4 << 20,
+			MaxMemoBytes:     64 << 20,
+			MaxCallDepth:     100000,
+			MaxParseDuration: 5 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	srvCtx, stop := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { s.Serve(srvCtx, ln); close(done) }()
+	defer func() {
+		stop()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+
+	phaseDur := 4 * opts.MinTime
+	if phaseDur < 200*time.Millisecond {
+		phaseDur = 200 * time.Millisecond
+	}
+	for _, cfg := range []struct {
+		label       string
+		adversarial bool
+		omitValues  bool
+	}{
+		{"full corpus", true, false},
+		{"omit-values", true, true},
+		{"no-adversarial", false, false},
+	} {
+		rep, err := loadbench.Run(context.Background(), loadbench.Config{
+			BaseURL:    base,
+			Corpus:     loadbench.DefaultCorpus(cfg.adversarial),
+			Mode:       loadbench.ModeClosed,
+			Workers:    8,
+			Duration:   phaseDur,
+			Seed:       11,
+			OmitValues: cfg.omitValues,
+			Warmup:     phaseDur / 4,
+		})
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: %v", cfg.label, err))
+			continue
+		}
+		ph := rep.Phases[0]
+		t.Rows = append(t.Rows, []string{
+			cfg.label,
+			fmt.Sprintf("%.0f", ph.AchievedRPS),
+			time.Duration(ph.P50NS).Round(10 * time.Microsecond).String(),
+			time.Duration(ph.P99NS).Round(10 * time.Microsecond).String(),
+			time.Duration(ph.P999NS).Round(10 * time.Microsecond).String(),
+			fmt.Sprint(ph.Sent),
+			fmt.Sprint(ph.Unexpected),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"closed loop, 8 workers, in-process server; DefaultCorpus mixes calc.full/json.value/java.core across 64B-64KB plus adversarial deep/huge/syntax-error items",
+		"omit-values sets ParseRequest.OmitValue: parse capacity without AST serialization and transfer",
+		"saturation search under an SLO: modpeg loadtest -mode ramp")
 	return t
 }

@@ -171,13 +171,13 @@ func TestByIDAndAll(t *testing.T) {
 	if err != nil || tbl.ID != "Table 1" {
 		t.Fatalf("ByID: %v", err)
 	}
-	for _, id := range []string{"table2", "table3", "table4", "table5", "table7", "limits", "table8", "incremental", "table9", "telemetry", "fig1", "fig2", "fig3", "hotprods"} {
+	for _, id := range []string{"table2", "table3", "table4", "table5", "table7", "limits", "table8", "incremental", "table9", "telemetry", "table11", "capacity", "fig1", "fig2", "fig3", "hotprods"} {
 		if _, err := ByID(id, Options{InputKB: 2, MinTime: time.Millisecond}); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 	}
-	// All with minimal settings must produce 12 tables.
-	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 12 {
+	// All with minimal settings must produce 13 tables.
+	if got := All(Options{InputKB: 2, MinTime: time.Millisecond}); len(got) != 13 {
 		t.Fatalf("All = %d tables", len(got))
 	}
 }
@@ -277,5 +277,33 @@ func TestTable9Shapes(t *testing.T) {
 				t.Fatalf("overhead cell %q: %v", cell, err)
 			}
 		}
+	}
+}
+
+func TestTable11Shapes(t *testing.T) {
+	tbl := Table11(fast())
+	if tbl.ID != "Table 11" {
+		t.Fatalf("ID = %q", tbl.ID)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 traffic shapes (notes: %v)", len(tbl.Rows), tbl.Notes)
+	}
+	labels := map[string]bool{}
+	for _, row := range tbl.Rows {
+		labels[row[0]] = true
+		if row[1] == "0" {
+			t.Errorf("%s: zero achieved RPS", row[0])
+		}
+		if row[6] != "0" {
+			t.Errorf("%s: unexpected errors against in-process server: %s", row[0], row[6])
+		}
+	}
+	for _, want := range []string{"full corpus", "omit-values", "no-adversarial"} {
+		if !labels[want] {
+			t.Errorf("missing traffic shape %q", want)
+		}
+	}
+	if !strings.Contains(tbl.Render(), "p99") {
+		t.Error("render missing header")
 	}
 }

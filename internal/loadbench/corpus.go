@@ -1,0 +1,133 @@
+// Package loadbench is the capacity harness behind `modpeg loadtest`:
+// it drives a running `modpeg serve` instance with mixed-grammar,
+// mixed-size, partly adversarial traffic and reports client-side
+// latency distributions (p50/p99/p999 from the same fixed-bucket
+// histogram machinery the server's telemetry uses), achieved
+// throughput, an error breakdown by typed-error kind, and server-side
+// runtime telemetry scraped from /metrics before and after each phase.
+//
+// Three modes cover the standard load-testing questions:
+//
+//   - closed loop (N workers, back-to-back requests): what does the
+//     service do at full pull — the throughput ceiling for a given
+//     concurrency.
+//   - open loop (fixed target RPS): what latency does a real arrival
+//     rate see. The pacer is coordinated-omission-safe: every request
+//     has a scheduled send time and latency is measured from that
+//     schedule, so a stalled server inflates the recorded tail instead
+//     of silently pausing the load.
+//   - step ramp: open-loop phases at increasing RPS until the SLO
+//     (p99 ceiling, unexpected-error rate) fails — the last passing
+//     target is the max sustainable RPS.
+package loadbench
+
+import (
+	"encoding/json"
+	"math/rand"
+
+	"modpeg/internal/workload"
+)
+
+// Item is one request template in the traffic mix.
+type Item struct {
+	// Name identifies the item in reports ("calc-1KB", "adv-deep-parens").
+	Name string
+	// Grammar is the top module the request parses against.
+	Grammar string
+	// Input is the text to parse.
+	Input string
+	// Expect classifies the response the server should give:
+	//
+	//	"ok"     — 200 with a value
+	//	"syntax" — a typed syntax rejection (422)
+	//	"reject" — any typed rejection (syntax or limit)
+	//	"any"    — adversarial: whatever the server's budgets decide;
+	//	           only transport failures, engine errors, and 5xx
+	//	           count as unexpected
+	//
+	// A response outside the expectation counts as an unexpected error
+	// against the SLO's error budget.
+	Expect string
+	// Weight is the item's relative frequency in the mix.
+	Weight int
+}
+
+// DefaultCorpus builds the standard traffic mix: deterministic
+// realistic corpora from internal/workload across three grammar
+// families and three size decades, plus (when adversarial is true) the
+// worst-case shapes Ford's packrat analysis says must be part of any
+// throughput claim — deep nesting, guaranteed syntax errors, and
+// oversized inputs that pressure the memo arenas. Grammars used:
+// calc.full, json.value, java.core.
+func DefaultCorpus(adversarial bool) []Item {
+	items := []Item{
+		{Name: "calc-64B", Grammar: "calc.full", Expect: "ok", Weight: 6,
+			Input: workload.Expression(workload.Config{Seed: 11, Size: 64})},
+		{Name: "calc-1KB", Grammar: "calc.full", Expect: "ok", Weight: 4,
+			Input: workload.Expression(workload.Config{Seed: 12, Size: 1 << 10})},
+		{Name: "calc-8KB", Grammar: "calc.full", Expect: "ok", Weight: 2,
+			Input: workload.Expression(workload.Config{Seed: 13, Size: 8 << 10})},
+		{Name: "json-256B", Grammar: "json.value", Expect: "ok", Weight: 6,
+			Input: workload.JSONDoc(workload.Config{Seed: 21, Size: 256})},
+		{Name: "json-4KB", Grammar: "json.value", Expect: "ok", Weight: 3,
+			Input: workload.JSONDoc(workload.Config{Seed: 22, Size: 4 << 10})},
+		{Name: "json-32KB", Grammar: "json.value", Expect: "ok", Weight: 1,
+			Input: workload.JSONDoc(workload.Config{Seed: 23, Size: 32 << 10})},
+		{Name: "java-2KB", Grammar: "java.core", Expect: "ok", Weight: 3,
+			Input: workload.JavaProgram(workload.Config{Seed: 31, Size: 2 << 10})},
+		{Name: "java-16KB", Grammar: "java.core", Expect: "ok", Weight: 1,
+			Input: workload.JavaProgram(workload.Config{Seed: 32, Size: 16 << 10})},
+	}
+	if adversarial {
+		items = append(items,
+			Item{Name: "adv-deep-parens", Grammar: "calc.full", Expect: "any", Weight: 1,
+				Input: workload.DeepExpression(2000)},
+			Item{Name: "adv-deep-json", Grammar: "json.value", Expect: "any", Weight: 1,
+				Input: workload.DeepJSONArray(2000)},
+			Item{Name: "adv-syntax", Grammar: "calc.full", Expect: "syntax", Weight: 2,
+				Input: "1+2*(3-4"},
+			Item{Name: "adv-huge-expr", Grammar: "calc.full", Expect: "any", Weight: 1,
+				Input: workload.Expression(workload.Config{Seed: 41, Size: 64 << 10})},
+		)
+	}
+	return items
+}
+
+// preparedItem is an Item with its POST /parse body marshaled once.
+type preparedItem struct {
+	Item
+	body []byte
+}
+
+// buildRing expands the weighted corpus into a deterministic shuffled
+// request ring: each item appears Weight times, the order is fixed by
+// seed, and workers walk the ring round-robin — so every run with the
+// same corpus and seed issues the same request sequence. With
+// omitValues set, every request asks the server to skip the AST in the
+// response, isolating parse cost from serialization cost.
+func buildRing(corpus []Item, seed int64, omitValues bool) []*preparedItem {
+	var ring []*preparedItem
+	for i := range corpus {
+		it := &corpus[i]
+		body, err := json.Marshal(struct {
+			Grammar   string `json:"grammar"`
+			Input     string `json:"input"`
+			Name      string `json:"name"`
+			OmitValue bool   `json:"omit_value,omitempty"`
+		}{it.Grammar, it.Input, it.Name, omitValues})
+		if err != nil {
+			continue // statically impossible: strings always marshal
+		}
+		p := &preparedItem{Item: *it, body: body}
+		w := it.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for n := 0; n < w; n++ {
+			ring = append(ring, p)
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(ring), func(i, j int) { ring[i], ring[j] = ring[j], ring[i] })
+	return ring
+}

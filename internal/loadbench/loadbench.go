@@ -1,0 +1,455 @@
+package loadbench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modpeg/internal/vm"
+)
+
+// Mode selects how load is generated.
+const (
+	// ModeClosed runs Workers goroutines issuing requests back to back.
+	ModeClosed = "closed"
+	// ModeOpen paces requests at a fixed target RPS on a schedule that
+	// does not depend on response times (coordinated-omission-safe).
+	ModeOpen = "open"
+	// ModeRamp runs open-loop phases at increasing RPS until the SLO
+	// fails, reporting the last passing target as the saturation point.
+	ModeRamp = "ramp"
+)
+
+// SLO is the pass criterion applied to each phase.
+type SLO struct {
+	// MaxP99 is the p99 latency ceiling; 0 disables the criterion.
+	MaxP99 time.Duration `json:"max_p99_ns"`
+	// MaxErrorRate is the tolerated fraction of unexpected errors
+	// (responses outside the corpus item's Expect class), e.g. 0.001
+	// for 0.1%.
+	MaxErrorRate float64 `json:"max_error_rate"`
+}
+
+func (s SLO) enabled() bool { return s.MaxP99 > 0 || s.MaxErrorRate > 0 }
+
+// RampConfig shapes the step-ramp saturation search.
+type RampConfig struct {
+	StartRPS     float64       `json:"start_rps"`
+	StepRPS      float64       `json:"step_rps"`
+	MaxRPS       float64       `json:"max_rps"`
+	StepDuration time.Duration `json:"step_duration_ns"`
+}
+
+// Config describes one loadtest run.
+type Config struct {
+	// BaseURL is the serve endpoint root, e.g. "http://localhost:8317".
+	BaseURL string
+	// Client is the HTTP client; nil uses a keep-alive tuned default.
+	Client *http.Client
+	// Corpus is the traffic mix; empty uses DefaultCorpus(true).
+	Corpus []Item
+	// Mode is ModeClosed, ModeOpen, or ModeRamp.
+	Mode string
+	// Workers is the closed-loop concurrency, and the cap on in-flight
+	// requests in open-loop/ramp modes (0 means 64).
+	Workers int
+	// RPS is the open-loop target arrival rate.
+	RPS float64
+	// Duration bounds each closed- or open-loop phase.
+	Duration time.Duration
+	// Ramp shapes ModeRamp; zero values get defaults from RPS/Duration.
+	Ramp RampConfig
+	// SLO gates each phase; the zero value disables gating.
+	SLO SLO
+	// Seed fixes the corpus shuffle so runs are reproducible.
+	Seed int64
+	// OmitValues asks the server to drop the AST from every response
+	// (ParseRequest.OmitValue), measuring parse capacity rather than
+	// parse + serialization capacity.
+	OmitValues bool
+	// Warmup, when positive, runs a short unmeasured closed-loop burst
+	// before the first phase so parser caches and connection pools are
+	// hot.
+	Warmup time.Duration
+	// ScrapeMetrics samples the server's /metrics endpoint around each
+	// phase and attaches the delta to the report.
+	ScrapeMetrics bool
+}
+
+func (cfg *Config) withDefaults() error {
+	if cfg.BaseURL == "" {
+		return errors.New("loadbench: BaseURL required")
+	}
+	if cfg.Client == nil {
+		tr := &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+			IdleConnTimeout:     30 * time.Second,
+		}
+		cfg.Client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+	if len(cfg.Corpus) == 0 {
+		cfg.Corpus = DefaultCorpus(true)
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeClosed
+	}
+	if cfg.Workers <= 0 {
+		if cfg.Mode == ModeClosed {
+			cfg.Workers = 8
+		} else {
+			cfg.Workers = 64
+		}
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	switch cfg.Mode {
+	case ModeClosed:
+	case ModeOpen:
+		if cfg.RPS <= 0 {
+			return errors.New("loadbench: open mode needs RPS > 0")
+		}
+	case ModeRamp:
+		if cfg.Ramp.StartRPS <= 0 {
+			cfg.Ramp.StartRPS = 50
+		}
+		if cfg.Ramp.StepRPS <= 0 {
+			cfg.Ramp.StepRPS = cfg.Ramp.StartRPS
+		}
+		if cfg.Ramp.MaxRPS <= 0 {
+			cfg.Ramp.MaxRPS = cfg.Ramp.StartRPS * 20
+		}
+		if cfg.Ramp.StepDuration <= 0 {
+			cfg.Ramp.StepDuration = cfg.Duration
+		}
+		if !cfg.SLO.enabled() {
+			cfg.SLO = SLO{MaxP99: 50 * time.Millisecond, MaxErrorRate: 0.001}
+		}
+	default:
+		return fmt.Errorf("loadbench: unknown mode %q", cfg.Mode)
+	}
+	return nil
+}
+
+// Run executes the configured loadtest and returns its report. The
+// context cancels the run early; phases completed so far stay in the
+// report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	ring := buildRing(cfg.Corpus, cfg.Seed, cfg.OmitValues)
+	if len(ring) == 0 {
+		return nil, errors.New("loadbench: empty corpus")
+	}
+	c := &client{cfg: &cfg, ring: ring}
+	rep := &Report{
+		Target:      cfg.BaseURL,
+		Mode:        cfg.Mode,
+		CorpusItems: len(cfg.Corpus),
+		SLO:         cfg.SLO,
+		Seed:        cfg.Seed,
+	}
+
+	if cfg.Warmup > 0 {
+		warmCtx, cancel := context.WithTimeout(ctx, cfg.Warmup)
+		c.runClosed(warmCtx, 2, cfg.Warmup, newPhaseStats())
+		cancel()
+	}
+
+	switch cfg.Mode {
+	case ModeClosed:
+		ph := c.phase(ctx, fmt.Sprintf("closed/w%d", cfg.Workers), 0, cfg.Duration)
+		rep.Phases = append(rep.Phases, ph)
+	case ModeOpen:
+		ph := c.phase(ctx, fmt.Sprintf("open/%grps", cfg.RPS), cfg.RPS, cfg.Duration)
+		rep.Phases = append(rep.Phases, ph)
+	case ModeRamp:
+		for rps := cfg.Ramp.StartRPS; rps <= cfg.Ramp.MaxRPS+1e-9; rps += cfg.Ramp.StepRPS {
+			if ctx.Err() != nil {
+				break
+			}
+			ph := c.phase(ctx, fmt.Sprintf("ramp/%grps", rps), rps, cfg.Ramp.StepDuration)
+			rep.Phases = append(rep.Phases, ph)
+			if !ph.SLOPass {
+				break
+			}
+			rep.SaturationRPS = rps
+		}
+	}
+	rep.finish()
+	if ctx.Err() != nil && len(rep.Phases) == 0 {
+		return rep, ctx.Err()
+	}
+	return rep, nil
+}
+
+// client holds the per-run request machinery shared by all phases.
+type client struct {
+	cfg  *Config
+	ring []*preparedItem
+	next atomic.Uint64 // ring cursor, shared across phases
+}
+
+// phase runs one measured phase (targetRPS == 0 means closed loop) and
+// assembles its Phase record, including the /metrics delta when
+// scraping is on.
+func (c *client) phase(ctx context.Context, label string, targetRPS float64, d time.Duration) *Phase {
+	st := newPhaseStats()
+	var before, after *ServerSample
+	if c.cfg.ScrapeMetrics {
+		if s, err := Scrape(ctx, c.cfg.Client, c.cfg.BaseURL); err == nil {
+			before = s
+		}
+	}
+	start := time.Now()
+	if targetRPS > 0 {
+		c.runOpen(ctx, targetRPS, d, st)
+	} else {
+		c.runClosed(ctx, c.cfg.Workers, d, st)
+	}
+	elapsed := time.Since(start)
+	if c.cfg.ScrapeMetrics {
+		if s, err := Scrape(ctx, c.cfg.Client, c.cfg.BaseURL); err == nil {
+			after = s
+		}
+	}
+	ph := st.phase(label, c.cfg.Mode, targetRPS, c.cfg.Workers, elapsed)
+	if before != nil && after != nil {
+		ph.Server = &ServerDelta{Before: *before, After: *after}
+	}
+	ph.SLOPass = evalSLO(ph, c.cfg.SLO, targetRPS)
+	return ph
+}
+
+// runClosed issues requests from workers goroutines back to back until
+// the deadline.
+func (c *client) runClosed(ctx context.Context, workers int, d time.Duration, st *phaseStats) {
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				it := c.ring[c.next.Add(1)%uint64(len(c.ring))]
+				t0 := time.Now()
+				outcome := c.do(ctx, it)
+				if ctx.Err() != nil && outcome == "transport" {
+					return // deadline cut the request short; not a server error
+				}
+				st.record(it, outcome, time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen paces requests at targetRPS. Every request has a scheduled
+// send time computed from the phase start; latency is measured from
+// that schedule, so time spent waiting behind a slow server is charged
+// to the response (no coordinated omission). The in-flight request
+// count is capped at cfg.Workers; when the cap is hit the pacer blocks,
+// and the queueing delay shows up in the recorded latencies.
+func (c *client) runOpen(ctx context.Context, targetRPS float64, d time.Duration, st *phaseStats) {
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	interval := time.Duration(float64(time.Second) / targetRPS)
+	total := int(targetRPS * d.Seconds())
+	sem := make(chan struct{}, c.cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < total && ctx.Err() == nil; i++ {
+		sched := start.Add(time.Duration(i) * interval)
+		if wait := time.Until(sched); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		it := c.ring[c.next.Add(1)%uint64(len(c.ring))]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			outcome := c.do(ctx, it)
+			if ctx.Err() != nil && outcome == "transport" {
+				return
+			}
+			st.record(it, outcome, time.Since(sched))
+		}()
+	}
+	wg.Wait()
+}
+
+// do issues one POST /parse and classifies the response:
+// "ok", "syntax", "limit:<kind>", "bad-request", "unknown-grammar",
+// "engine", "transport" (connection/client error), or "http:<status>"
+// for responses whose body is not a typed error.
+func (c *client) do(ctx context.Context, it *preparedItem) string {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.cfg.BaseURL+"/parse", bytes.NewReader(it.body))
+	if err != nil {
+		return "transport"
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return "transport"
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		// Only the status matters; drain so the connection is reused.
+		io.Copy(io.Discard, resp.Body)
+		return "ok"
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	io.Copy(io.Discard, resp.Body)
+	var e struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	if json.Unmarshal(body, &e) != nil || e.Error == "" {
+		return fmt.Sprintf("http:%d", resp.StatusCode)
+	}
+	if e.Error == "limit" {
+		return "limit:" + e.Kind
+	}
+	return e.Error
+}
+
+// unexpected reports whether outcome violates the item's Expect class.
+func unexpected(expect, outcome string) bool {
+	switch expect {
+	case "ok":
+		return outcome != "ok"
+	case "syntax":
+		return outcome != "syntax"
+	case "reject":
+		return outcome != "syntax" && !isLimit(outcome)
+	default: // "any"
+		return outcome == "transport" || outcome == "engine" || is5xx(outcome)
+	}
+}
+
+func isLimit(outcome string) bool {
+	return len(outcome) > 6 && outcome[:6] == "limit:"
+}
+
+func is5xx(outcome string) bool {
+	return len(outcome) > 5 && outcome[:6] == "http:5"
+}
+
+// phaseStats accumulates one phase's measurements. The latency
+// histogram is the same lock-free fixed-bucket machinery the server's
+// parse-duration telemetry uses, so client- and server-side quantiles
+// are directly comparable.
+type phaseStats struct {
+	hist  *vm.Histogram
+	maxNS atomic.Int64
+
+	mu         sync.Mutex
+	outcomes   map[string]int64
+	unexpected int64
+	sent       int64
+}
+
+func newPhaseStats() *phaseStats {
+	return &phaseStats{
+		hist:     vm.NewHistogram(vm.LatencyBounds()),
+		outcomes: make(map[string]int64),
+	}
+}
+
+func (st *phaseStats) record(it *preparedItem, outcome string, lat time.Duration) {
+	st.hist.Observe(int64(lat))
+	for {
+		old := st.maxNS.Load()
+		if int64(lat) <= old || st.maxNS.CompareAndSwap(old, int64(lat)) {
+			break
+		}
+	}
+	bad := unexpected(it.Expect, outcome)
+	st.mu.Lock()
+	st.sent++
+	st.outcomes[outcome]++
+	if bad {
+		st.unexpected++
+	}
+	st.mu.Unlock()
+}
+
+func (st *phaseStats) phase(label, mode string, targetRPS float64, workers int, elapsed time.Duration) *Phase {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap := st.hist.Snapshot()
+	// Interpolated quantiles can overshoot the worst observation when a
+	// bucket is sparsely filled; the exact max is a tighter bound.
+	maxNS := st.maxNS.Load()
+	clamp := func(q float64) int64 {
+		v := snap.Quantile(q)
+		if maxNS > 0 && v > maxNS {
+			return maxNS
+		}
+		return v
+	}
+	ph := &Phase{
+		Label:      label,
+		Mode:       mode,
+		TargetRPS:  targetRPS,
+		Workers:    workers,
+		DurationNS: int64(elapsed),
+		Sent:       st.sent,
+		P50NS:      clamp(0.50),
+		P99NS:      clamp(0.99),
+		P999NS:     clamp(0.999),
+		MaxNS:      maxNS,
+		Outcomes:   make(map[string]int64, len(st.outcomes)),
+		Unexpected: st.unexpected,
+	}
+	for k, v := range st.outcomes {
+		ph.Outcomes[k] = v
+	}
+	if elapsed > 0 {
+		ph.AchievedRPS = float64(st.sent) / elapsed.Seconds()
+	}
+	if st.sent > 0 {
+		ph.ErrorRate = float64(st.unexpected) / float64(st.sent)
+	}
+	return ph
+}
+
+// evalSLO applies the SLO to a finished phase. In open/ramp modes a
+// phase that achieved less than 90% of its target is failing even with
+// clean latencies — the generator could not push the load through.
+func evalSLO(ph *Phase, slo SLO, targetRPS float64) bool {
+	if !slo.enabled() {
+		return true
+	}
+	if slo.MaxP99 > 0 && ph.P99NS > int64(slo.MaxP99) {
+		return false
+	}
+	if ph.ErrorRate > slo.MaxErrorRate {
+		return false
+	}
+	if targetRPS > 0 && ph.AchievedRPS < 0.9*targetRPS {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,322 @@
+package loadbench
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"modpeg/internal/serve"
+)
+
+// testCorpus is a small fast mix: two grammars, one guaranteed syntax
+// error, so classification and error accounting are exercised without
+// multi-kilobyte bodies.
+func testCorpus() []Item {
+	return []Item{
+		{Name: "calc", Grammar: "calc.full", Input: "1+2*(3-4)", Expect: "ok", Weight: 3},
+		{Name: "json", Grammar: "json.value", Input: `{"a":[1,2,3]}`, Expect: "ok", Weight: 2},
+		{Name: "bad", Grammar: "calc.full", Input: "1+2*(3-4", Expect: "syntax", Weight: 1},
+	}
+}
+
+func newServeEndpoint(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(serve.Config{Grammars: []string{"calc.full", "json.value"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClosedLoop(t *testing.T) {
+	ts := newServeEndpoint(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       ts.URL,
+		Corpus:        testCorpus(),
+		Mode:          ModeClosed,
+		Workers:       4,
+		Duration:      400 * time.Millisecond,
+		Seed:          1,
+		ScrapeMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1", len(rep.Phases))
+	}
+	ph := rep.Phases[0]
+	if ph.Sent == 0 || ph.AchievedRPS <= 0 {
+		t.Fatalf("no traffic recorded: sent=%d rps=%f", ph.Sent, ph.AchievedRPS)
+	}
+	if ph.Outcomes["ok"] == 0 || ph.Outcomes["syntax"] == 0 {
+		t.Errorf("outcome mix missing classes: %v", ph.Outcomes)
+	}
+	if ph.Unexpected != 0 {
+		t.Errorf("unexpected errors against healthy server: %d (%v)", ph.Unexpected, ph.Outcomes)
+	}
+	if ph.P50NS <= 0 || ph.P99NS < ph.P50NS || ph.MaxNS < ph.P99NS/2 {
+		t.Errorf("implausible latency quantiles: p50=%d p99=%d max=%d", ph.P50NS, ph.P99NS, ph.MaxNS)
+	}
+	if ph.Server == nil {
+		t.Fatal("ScrapeMetrics on but no server delta")
+	}
+	if got := ph.Server.After.ParsesStarted - ph.Server.Before.ParsesStarted; got <= 0 {
+		t.Errorf("server parse counter did not move: delta %d", got)
+	}
+	if ph.Server.After.Goroutines <= 0 || ph.Server.After.HeapBytes <= 0 {
+		t.Errorf("runtime gauges not scraped: %+v", ph.Server.After)
+	}
+	if rep.MaxGoroutines <= 0 || rep.MaxHeapBytes <= 0 {
+		t.Errorf("report ceilings not derived: goroutines=%d heap=%d", rep.MaxGoroutines, rep.MaxHeapBytes)
+	}
+}
+
+func TestOpenLoopPacing(t *testing.T) {
+	ts := newServeEndpoint(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Corpus:   testCorpus(),
+		Mode:     ModeOpen,
+		RPS:      100,
+		Duration: 500 * time.Millisecond,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := rep.Phases[0]
+	// 100 RPS for 0.5s schedules 50 requests; the pacer must send all
+	// of them (the server answers in well under the phase duration) and
+	// must not send more than scheduled.
+	if ph.Sent < 40 || ph.Sent > 50 {
+		t.Errorf("open loop sent %d requests, want ~50", ph.Sent)
+	}
+	if ph.TargetRPS != 100 {
+		t.Errorf("TargetRPS = %f", ph.TargetRPS)
+	}
+}
+
+func TestRampFindsSaturation(t *testing.T) {
+	ts := newServeEndpoint(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL,
+		Corpus:  testCorpus(),
+		Mode:    ModeRamp,
+		Ramp: RampConfig{
+			StartRPS: 20, StepRPS: 20, MaxRPS: 60,
+			StepDuration: 250 * time.Millisecond,
+		},
+		SLO:  SLO{MaxP99: 5 * time.Second, MaxErrorRate: 0.001},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An in-process server at ≤60 RPS is far from saturation, so every
+	// step passes and the last target is the reported saturation point.
+	if rep.SaturationRPS != 60 {
+		t.Errorf("saturation = %f, want 60 (phases: %d)", rep.SaturationRPS, len(rep.Phases))
+	}
+	if !rep.Pass {
+		t.Error("ramp with all steps passing must report Pass")
+	}
+}
+
+func TestRampStopsOnSLOFailure(t *testing.T) {
+	// A server that always fails with an engine error: the first ramp
+	// step exceeds any error budget, so the search stops immediately
+	// and reports no sustainable rate.
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]string{"error": "engine", "message": "boom"})
+	}))
+	defer broken.Close()
+	rep, err := Run(context.Background(), Config{
+		BaseURL: broken.URL,
+		Corpus:  testCorpus(),
+		Mode:    ModeRamp,
+		Ramp: RampConfig{
+			StartRPS: 40, StepRPS: 40, MaxRPS: 200,
+			StepDuration: 200 * time.Millisecond,
+		},
+		SLO:  SLO{MaxP99: time.Second, MaxErrorRate: 0.001},
+		Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 1 {
+		t.Errorf("ramp ran %d phases after SLO failure, want 1", len(rep.Phases))
+	}
+	if rep.SaturationRPS != 0 || rep.Pass {
+		t.Errorf("broken server reported sustainable: saturation=%f pass=%v",
+			rep.SaturationRPS, rep.Pass)
+	}
+	if rep.Phases[0].Outcomes["engine"] == 0 {
+		t.Errorf("engine errors not classified: %v", rep.Phases[0].Outcomes)
+	}
+}
+
+func TestOutcomeClassification(t *testing.T) {
+	ts := newServeEndpoint(t)
+	c := &client{cfg: &Config{BaseURL: ts.URL, Client: http.DefaultClient}}
+	cases := []struct {
+		item Item
+		want string
+	}{
+		{Item{Grammar: "calc.full", Input: "1+2"}, "ok"},
+		{Item{Grammar: "calc.full", Input: "1+"}, "syntax"},
+		{Item{Grammar: "no.such", Input: "x"}, "unknown-grammar"},
+	}
+	for _, tc := range cases {
+		ring := buildRing([]Item{tc.item}, 0, false)
+		if got := c.do(context.Background(), ring[0]); got != tc.want {
+			t.Errorf("classify %q/%q = %q, want %q", tc.item.Grammar, tc.item.Input, got, tc.want)
+		}
+	}
+	// A body that is not a typed error falls back to the status code.
+	plain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "teapot", http.StatusTeapot)
+	}))
+	defer plain.Close()
+	c2 := &client{cfg: &Config{BaseURL: plain.URL, Client: http.DefaultClient}}
+	ring := buildRing([]Item{{Grammar: "calc.full", Input: "1"}}, 0, false)
+	if got := c2.do(context.Background(), ring[0]); got != "http:418" {
+		t.Errorf("untyped error body classified as %q, want http:418", got)
+	}
+}
+
+func TestUnexpectedMatrix(t *testing.T) {
+	cases := []struct {
+		expect, outcome string
+		want            bool
+	}{
+		{"ok", "ok", false},
+		{"ok", "syntax", true},
+		{"ok", "limit:deadline", true},
+		{"syntax", "syntax", false},
+		{"syntax", "ok", true},
+		{"reject", "syntax", false},
+		{"reject", "limit:call-depth", false},
+		{"reject", "ok", true},
+		{"any", "ok", false},
+		{"any", "syntax", false},
+		{"any", "limit:memo-bytes", false},
+		{"any", "transport", true},
+		{"any", "engine", true},
+		{"any", "http:503", true},
+		{"any", "http:404", false},
+	}
+	for _, tc := range cases {
+		if got := unexpected(tc.expect, tc.outcome); got != tc.want {
+			t.Errorf("unexpected(%q, %q) = %v, want %v", tc.expect, tc.outcome, got, tc.want)
+		}
+	}
+}
+
+func TestBuildRingDeterministic(t *testing.T) {
+	corpus := DefaultCorpus(true)
+	a, b := buildRing(corpus, 42, false), buildRing(corpus, 42, false)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("ring lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("same seed, different order at %d: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+	}
+	// Weights must expand: calc-64B (weight 6) appears 6 times.
+	count := 0
+	for _, p := range a {
+		if p.Name == "calc-64B" {
+			count++
+		}
+	}
+	if count != 6 {
+		t.Errorf("weight expansion: calc-64B appears %d times, want 6", count)
+	}
+}
+
+func TestReportTextAndJSON(t *testing.T) {
+	rep := &Report{
+		Target: "http://x", Mode: ModeRamp, CorpusItems: 3, Seed: 7,
+		SLO: SLO{MaxP99: 50 * time.Millisecond, MaxErrorRate: 0.001},
+		Phases: []*Phase{
+			{Label: "ramp/100rps", Mode: ModeRamp, TargetRPS: 100, Workers: 64,
+				DurationNS: int64(time.Second), Sent: 100, AchievedRPS: 99.5,
+				P50NS: 800_000, P99NS: 4_000_000, P999NS: 9_000_000, MaxNS: 12_000_000,
+				Outcomes: map[string]int64{"ok": 98, "syntax": 2}, SLOPass: true,
+				Server: &ServerDelta{
+					Before: ServerSample{Goroutines: 10, HeapBytes: 1 << 20, ParsesStarted: 5},
+					After:  ServerSample{Goroutines: 14, HeapBytes: 3 << 20, ParsesStarted: 105},
+				}},
+			{Label: "ramp/200rps", Mode: ModeRamp, TargetRPS: 200, Workers: 64,
+				DurationNS: int64(time.Second), Sent: 200, AchievedRPS: 180,
+				P50NS: 2_000_000, P99NS: 80_000_000, P999NS: 120_000_000, MaxNS: 150_000_000,
+				Outcomes:   map[string]int64{"ok": 190, "limit:deadline": 10},
+				Unexpected: 10, ErrorRate: 0.05, SLOPass: false},
+		},
+		SaturationRPS: 100,
+	}
+	rep.finish()
+	if !rep.Pass {
+		t.Error("ramp with a passing saturation step must pass")
+	}
+	if gp := rep.GatePhase(); gp == nil || gp.Label != "ramp/100rps" {
+		t.Errorf("GatePhase = %v, want the passing step", gp)
+	}
+	if rep.MaxGoroutines != 14 || rep.MaxHeapBytes != 3<<20 {
+		t.Errorf("ceilings: goroutines=%d heap=%d", rep.MaxGoroutines, rep.MaxHeapBytes)
+	}
+
+	var b strings.Builder
+	if err := rep.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"saturation: 100 RPS",
+		"ramp/100rps", "ramp/200rps", "FAIL", "pass",
+		"limit:deadline=10", "ok=288",
+		"goroutines=14", "verdict: PASS",
+		"p99", "4.0ms", "80.0ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SaturationRPS != 100 || len(back.Phases) != 2 || !back.Pass {
+		t.Errorf("JSON round trip lost fields: %+v", back)
+	}
+	if back.Phases[1].Outcomes["limit:deadline"] != 10 {
+		t.Errorf("outcome map lost in JSON: %v", back.Phases[1].Outcomes)
+	}
+}
+
+func TestScrapeLiveEndpoint(t *testing.T) {
+	ts := newServeEndpoint(t)
+	s, err := Scrape(context.Background(), http.DefaultClient, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Goroutines <= 0 || s.HeapBytes <= 0 || s.UptimeSeconds <= 0 {
+		t.Errorf("gauges not populated: %+v", s)
+	}
+}

@@ -1,0 +1,262 @@
+package loadbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phase is the measured result of one load phase.
+type Phase struct {
+	// Label names the phase in reports, e.g. "closed/w8" or "ramp/200rps".
+	Label string `json:"label"`
+	// Mode is the run mode that produced the phase.
+	Mode string `json:"mode"`
+	// TargetRPS is the open-loop arrival rate; 0 for closed loop.
+	TargetRPS float64 `json:"target_rps,omitempty"`
+	// Workers is the concurrency (closed loop) or in-flight cap (open).
+	Workers int `json:"workers"`
+	// DurationNS is the measured phase wall time.
+	DurationNS int64 `json:"duration_ns"`
+	// Sent is the number of requests that completed and were recorded.
+	Sent int64 `json:"sent"`
+	// AchievedRPS is Sent divided by the phase wall time.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// P50NS/P99NS/P999NS are client-side latency quantiles; open-loop
+	// latencies are measured from the scheduled send time.
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+	// MaxNS is the worst observed latency (exact, not bucketed).
+	MaxNS int64 `json:"max_ns"`
+	// Outcomes counts responses by class: "ok", "syntax",
+	// "limit:<kind>", "engine", "transport", "http:<status>", ...
+	Outcomes map[string]int64 `json:"outcomes"`
+	// Unexpected counts responses outside their corpus item's Expect
+	// class; ErrorRate is Unexpected/Sent.
+	Unexpected int64   `json:"unexpected_errors"`
+	ErrorRate  float64 `json:"error_rate"`
+	// SLOPass records whether the phase met the configured SLO.
+	SLOPass bool `json:"slo_pass"`
+	// Server is the /metrics delta around the phase, when scraped.
+	Server *ServerDelta `json:"server,omitempty"`
+}
+
+// ServerDelta brackets a phase with server-side telemetry scrapes.
+type ServerDelta struct {
+	Before ServerSample `json:"before"`
+	After  ServerSample `json:"after"`
+}
+
+// Report is the full loadtest result; its JSON form is the
+// LOADTEST.json artifact.
+type Report struct {
+	// Target is the serve endpoint the run drove.
+	Target string `json:"target"`
+	// Mode is the configured run mode.
+	Mode string `json:"mode"`
+	// CorpusItems is the number of distinct items in the traffic mix.
+	CorpusItems int `json:"corpus_items"`
+	// Seed is the corpus shuffle seed (reruns with the same seed issue
+	// the same request sequence).
+	Seed int64 `json:"seed"`
+	// SLO is the per-phase pass criterion; zero means ungated.
+	SLO SLO `json:"slo"`
+	// Phases are the measured phases in execution order.
+	Phases []*Phase `json:"phases"`
+	// SaturationRPS is the last ramp target that met the SLO (0 when
+	// the first step failed, or in non-ramp modes).
+	SaturationRPS float64 `json:"saturation_rps,omitempty"`
+	// Pass is the run verdict: every phase met the SLO (ramp mode
+	// instead requires at least one passing step).
+	Pass bool `json:"pass"`
+	// MaxGoroutines/MaxHeapBytes are server-side ceilings across all
+	// phase scrapes (0 when scraping was off).
+	MaxGoroutines int64 `json:"max_goroutines,omitempty"`
+	MaxHeapBytes  int64 `json:"max_heap_bytes,omitempty"`
+}
+
+// finish derives the run verdict and server-side ceilings.
+func (r *Report) finish() {
+	r.Pass = len(r.Phases) > 0
+	for _, ph := range r.Phases {
+		if !ph.SLOPass && r.Mode != ModeRamp {
+			r.Pass = false
+		}
+		if ph.Server != nil {
+			for _, s := range []ServerSample{ph.Server.Before, ph.Server.After} {
+				if s.Goroutines > r.MaxGoroutines {
+					r.MaxGoroutines = s.Goroutines
+				}
+				if s.HeapBytes > r.MaxHeapBytes {
+					r.MaxHeapBytes = s.HeapBytes
+				}
+			}
+		}
+	}
+	if r.Mode == ModeRamp {
+		r.Pass = r.SaturationRPS > 0
+	}
+}
+
+// GatePhase returns the phase CI gates should judge: the last
+// SLO-passing phase (in ramp mode, the saturation step), falling back
+// to the first phase when none passed.
+func (r *Report) GatePhase() *Phase {
+	var last *Phase
+	for _, ph := range r.Phases {
+		if ph.SLOPass {
+			last = ph
+		}
+	}
+	if last == nil && len(r.Phases) > 0 {
+		return r.Phases[0]
+	}
+	return last
+}
+
+// JSON renders the report as the indented LOADTEST.json artifact.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteText renders the human-readable report: one table row per
+// phase, the SLO verdict, the error breakdown, and the server-side
+// telemetry deltas.
+func (r *Report) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadtest %s  mode=%s  corpus=%d items  seed=%d\n",
+		r.Target, r.Mode, r.CorpusItems, r.Seed)
+	if r.SLO.enabled() {
+		fmt.Fprintf(&b, "SLO: p99 <= %s, unexpected-error rate <= %.2f%%\n",
+			time.Duration(r.SLO.MaxP99), r.SLO.MaxErrorRate*100)
+	}
+	b.WriteString("\n")
+
+	rows := [][]string{{"phase", "target", "achieved", "sent", "p50", "p99", "p99.9", "max", "err%", "slo"}}
+	for _, ph := range r.Phases {
+		target := "-"
+		if ph.TargetRPS > 0 {
+			target = fmt.Sprintf("%.0f", ph.TargetRPS)
+		}
+		verdict := "pass"
+		if !ph.SLOPass {
+			verdict = "FAIL"
+		}
+		if !r.SLO.enabled() {
+			verdict = "-"
+		}
+		rows = append(rows, []string{
+			ph.Label, target,
+			fmt.Sprintf("%.1f", ph.AchievedRPS),
+			fmt.Sprintf("%d", ph.Sent),
+			fmtDur(ph.P50NS), fmtDur(ph.P99NS), fmtDur(ph.P999NS), fmtDur(ph.MaxNS),
+			fmt.Sprintf("%.2f", ph.ErrorRate*100),
+			verdict,
+		})
+	}
+	writeAligned(&b, rows)
+
+	if r.Mode == ModeRamp {
+		if r.SaturationRPS > 0 {
+			fmt.Fprintf(&b, "\nsaturation: %.0f RPS (last target meeting the SLO)\n", r.SaturationRPS)
+		} else {
+			b.WriteString("\nsaturation: none (first ramp step failed the SLO)\n")
+		}
+	}
+
+	total := make(map[string]int64)
+	var sent int64
+	for _, ph := range r.Phases {
+		sent += ph.Sent
+		for k, v := range ph.Outcomes {
+			total[k] += v
+		}
+	}
+	keys := make([]string, 0, len(total))
+	for k := range total {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(&b, "\noutcomes (%d requests):", sent)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, total[k])
+	}
+	b.WriteString("\n")
+
+	if r.MaxGoroutines > 0 || r.MaxHeapBytes > 0 {
+		fmt.Fprintf(&b, "server ceilings: goroutines=%d heap=%s\n",
+			r.MaxGoroutines, fmtBytes(r.MaxHeapBytes))
+		if last := r.Phases[len(r.Phases)-1]; last.Server != nil {
+			d := last.Server
+			fmt.Fprintf(&b, "server (last phase): parses +%d, failed +%d, limit-stops +%d, gc-pause +%.1fms\n",
+				d.After.ParsesStarted-d.Before.ParsesStarted,
+				d.After.ParsesFailed-d.Before.ParsesFailed,
+				d.After.LimitStops-d.Before.LimitStops,
+				(d.After.GCPauseSeconds-d.Before.GCPauseSeconds)*1e3)
+		}
+	}
+	if r.SLO.enabled() {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "verdict: %s\n", verdict)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeAligned renders rows as a left-aligned column table.
+func writeAligned(b *strings.Builder, rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteString("\n")
+	}
+}
+
+// fmtDur renders nanoseconds compactly (µs below 1ms, ms below 10s).
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	case d < 10*time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

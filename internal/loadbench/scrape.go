@@ -1,0 +1,84 @@
+package loadbench
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ServerSample is one scrape of the serve process's runtime telemetry:
+// the modpeg_* gauges and parse counters a capacity run correlates
+// with client-side latency.
+type ServerSample struct {
+	Goroutines       int64   `json:"goroutines"`
+	HeapBytes        int64   `json:"heap_bytes"`
+	GCPauseSeconds   float64 `json:"gc_pause_seconds"`
+	InflightRequests int64   `json:"inflight_requests"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	ParsesStarted    int64   `json:"parses_started"`
+	ParsesFailed     int64   `json:"parses_failed"`
+	LimitStops       int64   `json:"limit_stops"`
+}
+
+// scrapeFields maps exposition sample names to ServerSample fields.
+var scrapeFields = map[string]func(*ServerSample, float64){
+	"modpeg_goroutines":           func(s *ServerSample, v float64) { s.Goroutines = int64(v) },
+	"modpeg_heap_bytes":           func(s *ServerSample, v float64) { s.HeapBytes = int64(v) },
+	"modpeg_gc_pause_seconds":     func(s *ServerSample, v float64) { s.GCPauseSeconds = v },
+	"modpeg_inflight_requests":    func(s *ServerSample, v float64) { s.InflightRequests = int64(v) },
+	"modpeg_uptime_seconds":       func(s *ServerSample, v float64) { s.UptimeSeconds = v },
+	"modpeg_parses_started_total": func(s *ServerSample, v float64) { s.ParsesStarted = int64(v) },
+	"modpeg_parses_failed_total":  func(s *ServerSample, v float64) { s.ParsesFailed = int64(v) },
+	"modpeg_limit_stops_total":    func(s *ServerSample, v float64) { s.LimitStops = int64(v) },
+}
+
+// Scrape fetches baseURL/metrics and extracts the runtime gauges and
+// parse counters. Labeled samples (per-grammar counters, histogram
+// buckets) are skipped; only the exact unlabeled names in scrapeFields
+// are read.
+func Scrape(ctx context.Context, client *http.Client, baseURL string) (*ServerSample, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadbench: scrape %s/metrics: status %d", baseURL, resp.StatusCode)
+	}
+	s := &ServerSample{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		set, ok := scrapeFields[line[:sp]]
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		set(s, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

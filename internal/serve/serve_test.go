@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"modpeg"
+	"modpeg/internal/vm"
 	"modpeg/internal/workload"
 )
 
@@ -356,4 +358,177 @@ func TestConcurrentAdversarial(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// TestRequestIDGenerated checks that every response carries a generated
+// X-Request-ID when the client sends none, and that typed error bodies
+// echo it.
+func TestRequestIDGenerated(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	rec := postParse(t, h, `{"grammar":"calc.core","input":"1+2"}`)
+	id := rec.Header().Get("X-Request-ID")
+	if len(id) != 16 {
+		t.Fatalf("generated X-Request-ID = %q, want 16 hex chars", id)
+	}
+	for _, c := range id {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("generated X-Request-ID %q is not lowercase hex", id)
+		}
+	}
+
+	rec = postParse(t, h, `{"grammar":"calc.core","input":"1+"}`)
+	errID := rec.Header().Get("X-Request-ID")
+	if errID == "" {
+		t.Fatal("error response missing X-Request-ID header")
+	}
+	if e := decodeError(t, rec); e.RequestID != errID {
+		t.Errorf("error body request_id = %q, header = %q", e.RequestID, errID)
+	}
+	if errID == id {
+		t.Errorf("two requests shared request id %q", id)
+	}
+}
+
+// TestRequestIDEchoed checks that a client-supplied id survives to the
+// response header and the error body, and that an oversized one is
+// replaced rather than reflected.
+func TestRequestIDEchoed(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	req := httptest.NewRequest(http.MethodPost, "/parse",
+		strings.NewReader(`{"grammar":"calc.core","input":"1+"}`))
+	req.Header.Set("X-Request-ID", "client-id-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "client-id-42" {
+		t.Errorf("X-Request-ID = %q, want echo of client-id-42", got)
+	}
+	if e := decodeError(t, rec); e.RequestID != "client-id-42" {
+		t.Errorf("error body request_id = %q", e.RequestID)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/parse",
+		strings.NewReader(`{"grammar":"calc.core","input":"1"}`))
+	req.Header.Set("X-Request-ID", strings.Repeat("x", 500))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); len(got) != 16 {
+		t.Errorf("oversized client id not replaced: %q", got)
+	}
+}
+
+// TestMetricsContentTypeExact pins /metrics to the Prometheus text
+// exposition content type, and checks the runtime gauges are scrapeable
+// through the serve mux.
+func TestMetricsContentTypeExact(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	const want = "text/plain; version=0.0.4; charset=utf-8"
+	if got := rec.Header().Get("Content-Type"); got != want {
+		t.Errorf("Content-Type = %q, want %q", got, want)
+	}
+	out := rec.Body.String()
+	for _, name := range []string{
+		"modpeg_goroutines ", "modpeg_heap_bytes ", "modpeg_gc_pause_seconds ",
+		"modpeg_inflight_requests ", "modpeg_uptime_seconds ",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("/metrics missing runtime gauge %q", strings.TrimSpace(name))
+		}
+	}
+}
+
+// TestInflightGauge observes the in-flight gauge from inside a request:
+// a parse of a grammar whose hook scrapes the gauge must see itself.
+func TestInflightGauge(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	before := vm.Metrics().InflightRequests
+	done := make(chan int64, 1)
+	// Hold a request open by blocking in the body reader.
+	pr, pw := io.Pipe()
+	go func() {
+		req := httptest.NewRequest(http.MethodPost, "/parse", pr)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		done <- 0
+	}()
+	// Wait until the handler has entered the bracket.
+	deadline := time.Now().Add(2 * time.Second)
+	for vm.Metrics().InflightRequests != before+1 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight gauge never rose")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pw.Write([]byte(`{"grammar":"calc.core","input":"1+2"}`))
+	pw.Close()
+	<-done
+	if got := vm.Metrics().InflightRequests; got != before {
+		t.Errorf("in-flight gauge after request = %d, want %d", got, before)
+	}
+}
+
+// TestOmitValue checks the capacity-probe knob: omit_value drops the
+// AST from the response while stats and timing survive.
+func TestOmitValue(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	rec := postParse(t, h, `{"grammar":"calc.core","input":"1+2*3","omit_value":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ParseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Value) != 0 {
+		t.Errorf("omit_value response still carries a value: %s", resp.Value)
+	}
+	if resp.Stats.Calls == 0 || resp.DurationNS <= 0 {
+		t.Errorf("stats/timing missing from omit_value response: %+v", resp)
+	}
+	if strings.Contains(rec.Body.String(), `"value"`) {
+		t.Errorf("value key present in omit_value body: %s", rec.Body.String())
+	}
+}
+
+// TestCompactResponses pins the wire encoding to single-line JSON.
+// Indented rendering is quadratic in AST nesting depth — a 4 KB
+// deeply nested input produced a ~300 MB pretty-printed response
+// before this was fixed — so deep inputs must stay linear.
+func TestCompactResponses(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"json.value"}})
+	rec := postParse(t, h, `{"grammar":"json.value","input":"[[1,2],[3]]"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if n := strings.Count(strings.TrimSpace(rec.Body.String()), "\n"); n != 0 {
+		t.Errorf("success body spans %d extra lines, want compact single-line JSON", n)
+	}
+
+	// Response size must grow linearly with nesting depth, not
+	// quadratically: depth 512 vs 256 within a factor of ~3.
+	deep := func(depth int) int {
+		in := strings.Repeat("[", depth) + "1" + strings.Repeat("]", depth)
+		rec := postParse(t, h, `{"grammar":"json.value","input":`+string(mustJSON(t, in))+`}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("depth %d: status %d: %s", depth, rec.Code, rec.Body.String())
+		}
+		return rec.Body.Len()
+	}
+	d256, d512 := deep(256), deep(512)
+	if d512 > 3*d256 {
+		t.Errorf("response size superlinear in depth: %d bytes at 256, %d at 512", d256, d512)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }

@@ -13,6 +13,8 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +29,7 @@ import (
 
 	"modpeg"
 	"modpeg/internal/telemetry"
+	"modpeg/internal/vm"
 )
 
 // DefaultMaxBodyBytes caps the request body when Config.MaxBodyBytes
@@ -134,10 +137,39 @@ func (s *Server) Grammars() []string {
 	return out
 }
 
+// maxRequestIDLen caps a client-supplied X-Request-ID; anything longer
+// (or empty) is replaced by a generated id.
+const maxRequestIDLen = 128
+
+// newRequestID returns a 16-hex-char random request id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withRequestID accepts the client's X-Request-ID header (or generates
+// one), stamps it on the response, and makes it available on the
+// request context — every response, success or typed error, carries an
+// id a client can quote back and an operator can grep the request log
+// for.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > maxRequestIDLen {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r)
+	})
+}
+
 // Handler returns the service's HTTP handler: POST /parse,
 // GET /metrics, GET /healthz, GET /readyz, and (when enabled)
-// /debug/pprof/. The whole mux is wrapped in the structured request
-// logger.
+// /debug/pprof/. The whole mux is wrapped in the request-id middleware
+// and the structured request logger.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/parse", s.handleParse)
@@ -161,7 +193,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return telemetry.LogRequests(s.cfg.Logger, mux)
+	return telemetry.LogRequests(s.cfg.Logger, withRequestID(mux))
 }
 
 // Serve accepts connections on ln until ctx is canceled, then flips
@@ -210,6 +242,10 @@ type ParseRequest struct {
 	Name string `json:"name,omitempty"`
 	// Profile requests a per-production profile in the response.
 	Profile bool `json:"profile,omitempty"`
+	// OmitValue drops the parsed value from the response, leaving only
+	// stats and timing. Capacity probes (modpeg loadtest) use this to
+	// measure parse cost without paying AST serialization and transfer.
+	OmitValue bool `json:"omit_value,omitempty"`
 
 	// Optional per-request budget overrides. Each tightens the server
 	// default; a request can never exceed the configured limit.
@@ -223,7 +259,7 @@ type ParseRequest struct {
 type ParseResponse struct {
 	Grammar    string          `json:"grammar"`
 	Production string          `json:"production,omitempty"`
-	Value      json.RawMessage `json:"value"`
+	Value      json.RawMessage `json:"value,omitempty"`
 	Stats      StatsJSON       `json:"stats"`
 	DurationNS int64           `json:"duration_ns"`
 	Profile    json.RawMessage `json:"profile,omitempty"`
@@ -269,6 +305,10 @@ type ErrorResponse struct {
 	Expected []string `json:"expected,omitempty"`
 	// Location pinpoints a syntax error.
 	Location *LocationJSON `json:"location,omitempty"`
+	// RequestID echoes the request's X-Request-ID (client-supplied or
+	// generated), so an error body alone is enough to find the matching
+	// request-log record.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // LocationJSON is the wire form of a source location.
@@ -279,15 +319,22 @@ type LocationJSON struct {
 	Offset int    `json:"offset"`
 }
 
+// writeJSON writes v compactly. Responses embed parsed ASTs, and
+// indented rendering is quadratic in their nesting depth — a 4 KB
+// deeply nested input once ballooned to a ~300 MB pretty-printed
+// response. Clients that want indentation can re-indent locally.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	json.NewEncoder(w).Encode(v)
 }
 
 func writeError(w http.ResponseWriter, status int, resp ErrorResponse) {
+	// The request-id middleware stamped the id on the response headers
+	// before the handler ran; thread it into the typed error body.
+	if resp.RequestID == "" {
+		resp.RequestID = w.Header().Get("X-Request-ID")
+	}
 	writeJSON(w, status, resp)
 }
 
@@ -319,6 +366,11 @@ func (s *Server) effectiveLimits(req *ParseRequest) modpeg.Limits {
 }
 
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	// Bracket the whole request (decode + parse + encode) in the
+	// in-flight gauge: a /metrics scrape mid-loadtest shows how many
+	// requests the process is actually holding.
+	vm.AddInflight(1)
+	defer vm.AddInflight(-1)
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, ErrorResponse{
@@ -388,18 +440,20 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		s.writeParseError(w, parseErr)
 		return
 	}
-	valueJSON, err := modpeg.ValueToJSON(val)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, ErrorResponse{
-			Error: "engine", Message: "value encoding failed: " + err.Error()})
-		return
-	}
 	resp := ParseResponse{
 		Grammar:    req.Grammar,
 		Production: req.Production,
-		Value:      json.RawMessage(valueJSON),
 		Stats:      statsJSON(st),
 		DurationNS: elapsed.Nanoseconds(),
+	}
+	if !req.OmitValue {
+		valueJSON, err := modpeg.ValueToJSONCompact(val)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, ErrorResponse{
+				Error: "engine", Message: "value encoding failed: " + err.Error()})
+			return
+		}
+		resp.Value = json.RawMessage(valueJSON)
 	}
 	if profiler != nil {
 		if pj, err := profiler.Profile().JSON(); err == nil {

@@ -67,8 +67,11 @@ func LogParse(log *slog.Logger, grammar, name string, inputBytes int, d time.Dur
 }
 
 // LogRequests wraps next, emitting one structured slog record per HTTP
-// request: method, path, status, response bytes, and duration. A nil
-// logger disables logging without a handler indirection.
+// request: method, path, status, response bytes, duration, and the
+// request id (read from the X-Request-ID response header the serve
+// layer's middleware stamps on every response, so client-supplied and
+// generated ids log alike). A nil logger disables logging without a
+// handler indirection.
 func LogRequests(log *slog.Logger, next http.Handler) http.Handler {
 	if log == nil {
 		return next
@@ -83,13 +86,17 @@ func LogRequests(log *slog.Logger, next http.Handler) http.Handler {
 		} else if rec.status >= 400 {
 			level = slog.LevelWarn
 		}
-		log.Log(r.Context(), level, "http",
+		attrs := []any{
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", rec.status),
 			slog.Int("bytes", rec.bytes),
 			slog.Duration("duration", time.Since(start)),
-		)
+		}
+		if id := rec.Header().Get("X-Request-ID"); id != "" {
+			attrs = append(attrs, slog.String("request_id", id))
+		}
+		log.Log(r.Context(), level, "http", attrs...)
 	})
 }
 

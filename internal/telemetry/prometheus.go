@@ -63,11 +63,32 @@ var scalarMetrics = []struct {
 		func(m vm.MetricsSnapshot) int64 { return m.MemoEntriesRelocated }},
 }
 
+// runtimeGauges are the process-runtime gauges sampled into the
+// snapshot at scrape time (goroutines, heap, GC pause, in-flight
+// requests, uptime). Nanosecond-denominated values render as
+// conventional seconds via the unit factor.
+var runtimeGauges = []struct {
+	name, help string
+	value      func(vm.MetricsSnapshot) int64
+	unit       float64 // 0 = integer sample; else value * unit as float
+}{
+	{"modpeg_goroutines", "Goroutines at scrape time.",
+		func(m vm.MetricsSnapshot) int64 { return m.Goroutines }, 0},
+	{"modpeg_heap_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc) at scrape time.",
+		func(m vm.MetricsSnapshot) int64 { return m.HeapBytes }, 0},
+	{"modpeg_gc_pause_seconds", "Cumulative GC stop-the-world pause time since process start.",
+		func(m vm.MetricsSnapshot) int64 { return m.GCPauseNS }, 1e-9},
+	{"modpeg_inflight_requests", "Parse requests currently in flight in the serve layer.",
+		func(m vm.MetricsSnapshot) int64 { return m.InflightRequests }, 0},
+	{"modpeg_uptime_seconds", "Seconds since process start.",
+		func(m vm.MetricsSnapshot) int64 { return m.UptimeNS }, 1e-9},
+}
+
 // WritePrometheus renders the snapshot in Prometheus text exposition
-// format v0.0.4: the scalar registry counters, the parse-duration
-// (seconds) and input-size (bytes) histograms, and the per-grammar
-// labeled counters. Rendering is deterministic: fixed metric order,
-// grammar labels sorted.
+// format v0.0.4: the scalar registry counters, the process-runtime
+// gauges, the parse-duration (seconds) and input-size (bytes)
+// histograms, and the per-grammar labeled counters. Rendering is
+// deterministic: fixed metric order, grammar labels sorted.
 func WritePrometheus(w io.Writer, m vm.MetricsSnapshot) error {
 	bw := bufio.NewWriter(w)
 	p := promWriter{w: bw}
@@ -75,6 +96,15 @@ func WritePrometheus(w io.Writer, m vm.MetricsSnapshot) error {
 	for _, s := range scalarMetrics {
 		p.header(s.name, s.help, s.typ)
 		p.sample(s.name, "", strconv.FormatInt(s.value(m), 10))
+	}
+
+	for _, g := range runtimeGauges {
+		p.header(g.name, g.help, "gauge")
+		if g.unit != 0 {
+			p.sample(g.name, "", formatFloat(float64(g.value(m))*g.unit))
+		} else {
+			p.sample(g.name, "", strconv.FormatInt(g.value(m), 10))
+		}
 	}
 
 	p.histogram("modpeg_parse_duration_seconds",

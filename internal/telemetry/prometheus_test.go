@@ -1,6 +1,8 @@
 package telemetry_test
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"regexp"
 	"strconv"
@@ -24,6 +26,12 @@ func TestWritePrometheusGolden(t *testing.T) {
 		PoolNews:        1,
 		PeakMemoBytes:   2048,
 		LimitStops:      1,
+
+		Goroutines:       9,
+		HeapBytes:        1 << 20,
+		GCPauseNS:        1_500_000, // renders as 0.0015 s
+		InflightRequests: 2,
+		UptimeNS:         61_500_000_000, // renders as 61.5 s
 		ParseDurationNS: vm.HistogramSnapshot{
 			Count: 4,
 			Sum:   4_000_000,
@@ -178,4 +186,31 @@ func TestJSONPrometheusRoundTrip(t *testing.T) {
 		t.Errorf("grammar input bytes: prometheus %d, json %d", got, g.InputBytes)
 	}
 	modpeg.ResetMetrics()
+}
+
+// TestHandlerContentType pins the scrape endpoint's Content-Type to the
+// Prometheus text exposition format v0.0.4 byte for byte — scrapers
+// negotiate on this exact string.
+func TestHandlerContentType(t *testing.T) {
+	rec := httptest.NewRecorder()
+	telemetry.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	const want = "text/plain; version=0.0.4; charset=utf-8"
+	if got := rec.Header().Get("Content-Type"); got != want {
+		t.Errorf("Content-Type = %q, want %q", got, want)
+	}
+	if got := telemetry.ContentType; got != want {
+		t.Errorf("telemetry.ContentType = %q, want %q", got, want)
+	}
+	// The body must carry the runtime gauges a capacity run scrapes.
+	for _, name := range []string{
+		"modpeg_goroutines", "modpeg_heap_bytes", "modpeg_gc_pause_seconds",
+		"modpeg_inflight_requests", "modpeg_uptime_seconds",
+	} {
+		if !strings.Contains(rec.Body.String(), "# TYPE "+name+" gauge") {
+			t.Errorf("scrape body missing gauge %q", name)
+		}
+	}
 }

@@ -2,9 +2,11 @@ package vm
 
 import (
 	"encoding/json"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the process-wide engine metrics registry: atomic
@@ -145,6 +147,79 @@ func (h *histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution by linear interpolation inside the winning bucket, in
+// the histogram's native unit. The first bucket interpolates from zero;
+// observations that landed beyond the last finite bound (the implicit
+// +Inf bucket) clamp to the last finite bound, so tail quantiles are a
+// lower bound once the ladder overflows. Returns 0 for an empty
+// histogram.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var lo int64    // lower edge of the current bucket
+	var below int64 // cumulative count below it
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			in := b.Count - below
+			if in <= 0 {
+				return b.UpperBound
+			}
+			frac := (rank - float64(below)) / float64(in)
+			return lo + int64(frac*float64(b.UpperBound-lo))
+		}
+		below = b.Count
+		lo = b.UpperBound
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}
+
+// Histogram is the registry's lock-free fixed-bucket histogram exported
+// for reuse outside the registry — the loadbench client records its
+// request latencies through the exact machinery the server-side
+// parse-duration histogram uses, so client and server distributions are
+// directly comparable.
+type Histogram struct{ h histogram }
+
+// NewHistogram builds a histogram over the given ascending inclusive
+// upper bounds (at most histMaxBuckets of them; the +Inf bucket is
+// implicit). The bounds slice is copied.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) > histMaxBuckets {
+		panic("vm: NewHistogram: too many buckets")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("vm: NewHistogram: bounds not strictly ascending")
+		}
+	}
+	h := &Histogram{}
+	h.h.bounds = append([]int64(nil), bounds...)
+	return h
+}
+
+// Observe records one value: three atomic adds and a bounded scan,
+// allocation-free and safe for concurrent use.
+func (h *Histogram) Observe(v int64) { h.h.observe(v) }
+
+// Snapshot returns a point-in-time copy with cumulative buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.h.snapshot() }
+
+// Reset zeroes the histogram (not atomic against concurrent Observe).
+func (h *Histogram) Reset() { h.h.reset() }
+
+// LatencyBounds returns a copy of the registry's parse-latency bucket
+// ladder (nanoseconds, 1µs–10s) — the default ladder for client-side
+// latency histograms.
+func LatencyBounds() []int64 { return append([]int64(nil), parseDurationBounds...) }
+
 // --------------------------------------------------- per-grammar counters
 
 // grammarStats is one grammar label's counter set. Programs hold a
@@ -256,7 +331,20 @@ type metricsRegistry struct {
 	// Telemetry histograms (gated by SetTelemetry).
 	parseDuration histogram // per-parse wall time, nanoseconds
 	inputSize     histogram // per-parse input size, bytes
+
+	// inflight is the live in-flight-requests gauge the serve layer
+	// brackets each parse request with (AddInflight).
+	inflight atomic.Int64
 }
+
+// processStart anchors the uptime gauge.
+var processStart = time.Now()
+
+// AddInflight adjusts the in-flight-requests gauge by d and returns the
+// new value. The serve layer calls AddInflight(1) when a parse request
+// begins and AddInflight(-1) when it completes; scraping it between the
+// two shows how many requests the process is holding right now.
+func AddInflight(d int64) int64 { return metrics.inflight.Add(d) }
 
 // metrics is the registry instance. Process-wide by design: a fleet of
 // Programs shares one scrape target, like runtime.MemStats.
@@ -326,6 +414,19 @@ type MetricsSnapshot struct {
 	MemoEntriesInvalidated int64 `json:"memo_entries_invalidated"`
 	MemoEntriesRelocated   int64 `json:"memo_entries_relocated"`
 
+	// Runtime gauges, sampled at snapshot time: scheduler and memory
+	// state a capacity run correlates with the parse counters.
+	// Goroutines is runtime.NumGoroutine(); HeapBytes is live heap
+	// (MemStats.HeapAlloc); GCPauseNS is cumulative stop-the-world GC
+	// pause since process start (MemStats.PauseTotalNs);
+	// InflightRequests is the serve layer's live request gauge
+	// (AddInflight); UptimeNS is time since process start.
+	Goroutines       int64 `json:"goroutines"`
+	HeapBytes        int64 `json:"heap_bytes"`
+	GCPauseNS        int64 `json:"gc_pause_ns"`
+	InflightRequests int64 `json:"inflight_requests"`
+	UptimeNS         int64 `json:"uptime_ns"`
+
 	// ParseDurationNS and ParseInputBytes are the per-parse latency
 	// (nanoseconds) and input-size (bytes) histograms; empty while
 	// telemetry is disabled (SetTelemetry).
@@ -339,8 +440,18 @@ type MetricsSnapshot struct {
 }
 
 // Metrics returns a snapshot of the process-wide engine metrics.
+// Sampling the runtime gauges calls runtime.ReadMemStats, so Metrics is
+// a scrape-time operation, not a hot-path one.
 func Metrics() MetricsSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	return MetricsSnapshot{
+		Goroutines:       int64(runtime.NumGoroutine()),
+		HeapBytes:        int64(ms.HeapAlloc),
+		GCPauseNS:        int64(ms.PauseTotalNs),
+		InflightRequests: metrics.inflight.Load(),
+		UptimeNS:         int64(time.Since(processStart)),
+
 		ParsesStarted:      metrics.parsesStarted.Load(),
 		ParsesCompleted:    metrics.parsesCompleted.Load(),
 		ParsesFailed:       metrics.parsesFailed.Load(),
@@ -375,7 +486,11 @@ func (s MetricsSnapshot) JSON() ([]byte, error) {
 // prefer windowed counters over monotone ones. Not atomic as a whole:
 // counters racing with in-flight parses may land on either side of the
 // reset. Per-grammar counter sets are zeroed in place (not removed), so
-// compiled Programs keep feeding the same sets after a reset.
+// compiled Programs keep feeding the same sets after a reset. The
+// runtime gauges are untouched: goroutines/heap/GC-pause/uptime are
+// resampled from the runtime at every snapshot, and zeroing the live
+// in-flight gauge while requests are in flight would leave it negative
+// forever once they complete.
 func ResetMetrics() {
 	metrics.parsesStarted.Store(0)
 	metrics.parsesCompleted.Store(0)

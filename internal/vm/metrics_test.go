@@ -3,6 +3,7 @@ package vm
 import (
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
 	"modpeg/internal/text"
@@ -259,4 +260,136 @@ func TestMetricsSnapshotJSON(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestHistogramOverflowBucket pins the top-of-ladder behavior: an
+// observation beyond the last finite bound must land only in the
+// implicit +Inf bucket (Count), never in a finite one, and must still
+// contribute to Sum.
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]int64{10, 20})
+	for _, v := range []int64{5, 15, 20, 1_000_000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if s.Sum != 5+15+20+1_000_000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+	// Cumulative finite buckets: le=10 -> 1, le=20 -> 3 (the bound is
+	// inclusive); the overflow observation appears only in Count.
+	if s.Buckets[0].Count != 1 || s.Buckets[1].Count != 3 {
+		t.Errorf("buckets = %+v, want cumulative [1 3]", s.Buckets)
+	}
+	// A tail quantile that falls into the +Inf bucket clamps to the last
+	// finite bound — a lower bound, not an invented value.
+	if q := s.Quantile(1.0); q != 20 {
+		t.Errorf("Quantile(1.0) = %d, want clamp to 20", q)
+	}
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Buckets[1].Count != 0 {
+		t.Errorf("reset left state: %+v", s)
+	}
+}
+
+// TestHistogramQuantileBoundaries pins the interpolation at exact
+// bucket boundaries, where off-by-one rank arithmetic typically hides.
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	h := NewHistogram([]int64{100, 200, 400})
+	// 10 observations in (0,100], none elsewhere.
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(1.0); q != 100 {
+		t.Errorf("Quantile(1.0) = %d, want the bucket's upper bound 100", q)
+	}
+	if q := s.Quantile(0.5); q != 50 {
+		t.Errorf("Quantile(0.5) = %d, want midpoint 50", q)
+	}
+	// Split 10/10 across the first two buckets: the median sits exactly
+	// on the boundary between them.
+	h2 := NewHistogram([]int64{100, 200, 400})
+	for i := 0; i < 10; i++ {
+		h2.Observe(50)
+		h2.Observe(150)
+	}
+	s2 := h2.Snapshot()
+	if q := s2.Quantile(0.5); q != 100 {
+		t.Errorf("boundary Quantile(0.5) = %d, want 100", q)
+	}
+	if q := s2.Quantile(0.75); q != 150 {
+		t.Errorf("Quantile(0.75) = %d, want 150", q)
+	}
+	// Degenerate cases.
+	if q := (HistogramSnapshot{}).Quantile(0.99); q != 0 {
+		t.Errorf("empty Quantile = %d, want 0", q)
+	}
+	if q := s.Quantile(-1); q != s.Quantile(0) {
+		t.Errorf("q<0 not clamped")
+	}
+	if q := s.Quantile(2); q != s.Quantile(1) {
+		t.Errorf("q>1 not clamped")
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines; with -race this checks Observe's lock-freedom claim, and
+// the final snapshot checks no observation was lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64((w*perWorker + i) % 2000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Errorf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if got := s.Buckets[len(s.Buckets)-1].Count; got >= s.Count || got == 0 {
+		t.Errorf("finite-bucket total %d vs count %d: overflow split missing", got, s.Count)
+	}
+}
+
+// TestRuntimeGaugesAndInflight checks the snapshot's runtime gauges and
+// the serve layer's in-flight bracket.
+func TestRuntimeGaugesAndInflight(t *testing.T) {
+	m := Metrics()
+	if m.Goroutines <= 0 {
+		t.Errorf("goroutines = %d", m.Goroutines)
+	}
+	if m.HeapBytes <= 0 {
+		t.Errorf("heap_bytes = %d", m.HeapBytes)
+	}
+	if m.UptimeNS <= 0 {
+		t.Errorf("uptime_ns = %d", m.UptimeNS)
+	}
+	base := Metrics().InflightRequests
+	if got := AddInflight(1); got != base+1 {
+		t.Errorf("AddInflight(1) = %d, want %d", got, base+1)
+	}
+	if m := Metrics(); m.InflightRequests != base+1 {
+		t.Errorf("snapshot inflight = %d, want %d", m.InflightRequests, base+1)
+	}
+	AddInflight(-1)
+	if m := Metrics(); m.InflightRequests != base {
+		t.Errorf("inflight after bracket = %d, want %d", m.InflightRequests, base)
+	}
+	// ResetMetrics must leave the live gauge alone.
+	AddInflight(1)
+	ResetMetrics()
+	if m := Metrics(); m.InflightRequests != base+1 {
+		t.Errorf("ResetMetrics zeroed the live in-flight gauge: %d", m.InflightRequests)
+	}
+	AddInflight(-1)
 }

@@ -64,6 +64,11 @@ func IndentValue(v Value) string { return ast.Indent(v) }
 // ValueToJSON renders a value as indented JSON for machine consumption.
 func ValueToJSON(v Value) (string, error) { return ast.ToJSON(v) }
 
+// ValueToJSONCompact renders a value as single-line JSON. Wire
+// protocols must prefer this over ValueToJSON: indented rendering is
+// quadratic in the value's nesting depth.
+func ValueToJSONCompact(v Value) (string, error) { return ast.ToJSONCompact(v) }
+
 // ValuesEqual reports deep structural equality, ignoring source spans.
 func ValuesEqual(a, b Value) bool { return ast.Equal(a, b) }
 

@@ -1,0 +1,31 @@
+#!/bin/sh
+# capacity_smoke.sh — CI capacity gate: run `modpeg loadtest` for 5s of
+# closed-loop mixed-grammar traffic (adversarial items included)
+# against a spawned in-process server, write the LOADTEST.json
+# artifact, and fail on regression floors. The floors are deliberately
+# loose — they catch collapse (an order of magnitude), not noise:
+# shared CI runners are slow and loadtest numbers vary run to run.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-LOADTEST.json}"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+bin="$tmp/modpeg"
+go build -o "$bin" ./cmd/modpeg
+
+"$bin" loadtest -duration 5s -workers 8 -warmup 500ms \
+	-slo-p99 0s -slo-errors 0.01 \
+	-min-rps 10 -max-p99 10s -json "$out"
+
+# The artifact must carry the fields the report promises: quantiles,
+# outcome breakdown, and the server-side telemetry correlation.
+for key in '"p99_ns"' '"p999_ns"' '"achieved_rps"' '"outcomes"' \
+	'"server"' '"goroutines"' '"heap_bytes"'; do
+	if ! grep -q "$key" "$out"; then
+		echo "capacity_smoke: $out missing $key" >&2
+		exit 1
+	fi
+done
+
+echo "capacity_smoke: OK"

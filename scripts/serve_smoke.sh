@@ -57,6 +57,30 @@ metrics=$(curl -fsS "$base/metrics")
 printf '%s\n' "$metrics" | grep -q 'modpeg_parse_duration_seconds_bucket'
 printf '%s\n' "$metrics" | grep -q 'modpeg_grammar_parses_total{grammar="calc.core",outcome="completed"}'
 
+# Runtime gauges for capacity runs must be exposed.
+for g in modpeg_goroutines modpeg_heap_bytes modpeg_gc_pause_seconds \
+	modpeg_inflight_requests modpeg_uptime_seconds; do
+	printf '%s\n' "$metrics" | grep -q "# TYPE $g gauge"
+done
+
+# X-Request-ID: generated (16 hex chars) when the client sends none...
+curl -fsS -D "$tmp/gen.hdr" -o /dev/null -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"grammar":"calc.core","input":"1"}'
+grep -qi '^x-request-id: [0-9a-f]\{16\}' "$tmp/gen.hdr"
+
+# ...echoed when supplied, and threaded into typed error bodies.
+code=$(curl -sS -D "$tmp/err.hdr" -o "$tmp/err.json" -w '%{http_code}' \
+	-X POST "$base/parse" \
+	-H 'Content-Type: application/json' -H 'X-Request-ID: smoke-42' \
+	-d '{"grammar":"calc.core","input":"1+"}')
+if [ "$code" != "422" ]; then
+	echo "serve_smoke: request-id probe returned $code, want 422" >&2
+	exit 1
+fi
+grep -qi '^x-request-id: smoke-42' "$tmp/err.hdr"
+grep -q '"request_id":"smoke-42"' "$tmp/err.json"
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$pid"
 status=0
