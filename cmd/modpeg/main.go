@@ -34,6 +34,7 @@ import (
 	"modpeg/internal/grammars"
 	"modpeg/internal/loadbench"
 	"modpeg/internal/peg"
+	"modpeg/internal/registry"
 	"modpeg/internal/serve"
 	"modpeg/internal/syntax"
 	"modpeg/internal/vm"
@@ -117,12 +118,17 @@ commands:
                                    run the paper-reproduction experiments
   serve    [-addr host:port] [-grammars a,b] [-d dir] [-timeout d] [-max-input n]
            [-max-memo n] [-max-depth n] [-strict] [-max-body n] [-pprof] [-quiet]
+           [-registry-dir dir] [-max-tenants n]
                                    run the HTTP parse service: POST /parse,
-                                   GET /metrics (Prometheus), /healthz, /readyz
+                                   GET /metrics (Prometheus), /healthz, /readyz,
+                                   and the multi-tenant grammar registry
+                                   (upload, hot-swap, pin, roll back grammar
+                                   versions under /grammars)
   loadtest [-url http://host:port] [-mode closed|open|ramp] [-workers n] [-rps r]
            [-duration d] [-ramp-start r] [-ramp-step r] [-ramp-max r] [-step d]
            [-slo-p99 d] [-slo-errors f] [-seed n] [-warmup d] [-no-adversarial]
-           [-omit-values] [-no-scrape] [-json file] [-min-rps r] [-max-p99 d]
+           [-tenants n] [-omit-values] [-no-scrape] [-json file] [-min-rps r]
+           [-max-p99 d]
                                    drive a serve endpoint (or a spawned
                                    in-process server) with mixed-grammar
                                    traffic and report latency quantiles,
@@ -712,9 +718,11 @@ func cmdServe(args []string, stderr io.Writer) error {
 	maxBody := fs.Int64("max-body", 0, "request-body cap in bytes (0 = 8 MiB)")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	quiet := fs.Bool("quiet", false, "disable structured request and parse logging")
+	registryDir := fs.String("registry-dir", "", "persist uploaded grammar versions in this directory (empty = in-memory registry)")
+	maxTenants := fs.Int("max-tenants", 0, "cap on registry tenant namespaces (0 = 64)")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
-		return fmt.Errorf("usage: modpeg serve [-addr host:port] [-grammars a,b] [-d dir] [-timeout d] [-max-input n] [-max-memo n] [-max-depth n] [-strict] [-max-body n] [-pprof] [-quiet]")
+		return fmt.Errorf("usage: modpeg serve [-addr host:port] [-grammars a,b] [-d dir] [-timeout d] [-max-input n] [-max-memo n] [-max-depth n] [-strict] [-max-body n] [-pprof] [-quiet] [-registry-dir dir] [-max-tenants n]")
 	}
 	served := modpeg.BundledGrammars()
 	if *grammarList != "" {
@@ -729,19 +737,30 @@ func cmdServe(args []string, stderr io.Writer) error {
 	if !*quiet {
 		logger = slog.New(slog.NewJSONHandler(stderr, nil))
 	}
+	limits := modpeg.Limits{
+		MaxInputBytes:    *maxInput,
+		MaxMemoBytes:     *maxMemo,
+		MaxCallDepth:     *maxDepth,
+		MaxParseDuration: *timeout,
+		Strict:           *strict,
+	}
+	reg, err := registry.New(registry.Config{
+		Dir:           *registryDir,
+		MaxTenants:    *maxTenants,
+		DefaultLimits: limits,
+		ModuleDir:     *dir,
+	})
+	if err != nil {
+		return err
+	}
 	s, err := serve.New(serve.Config{
-		Grammars:  served,
-		ModuleDir: *dir,
-		Limits: modpeg.Limits{
-			MaxInputBytes:    *maxInput,
-			MaxMemoBytes:     *maxMemo,
-			MaxCallDepth:     *maxDepth,
-			MaxParseDuration: *timeout,
-			Strict:           *strict,
-		},
+		Grammars:     served,
+		ModuleDir:    *dir,
+		Limits:       limits,
 		MaxBodyBytes: *maxBody,
 		Logger:       logger,
 		EnablePprof:  *pprofFlag,
+		Registry:     reg,
 	})
 	if err != nil {
 		return err
@@ -774,6 +793,7 @@ func cmdLoadtest(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "corpus shuffle seed")
 	warmup := fs.Duration("warmup", 500*time.Millisecond, "unmeasured warmup burst (0 = none)")
 	plain := fs.Bool("no-adversarial", false, "drop the adversarial corpus items")
+	tenants := fs.Int("tenants", 0, "mixed-tenant mode: register the corpus grammars for n tenants and spread traffic across them (needs a registry-enabled server)")
 	omitValues := fs.Bool("omit-values", false, "ask the server to drop ASTs from responses (parse capacity, not transfer capacity)")
 	noScrape := fs.Bool("no-scrape", false, "skip the /metrics correlation scrapes")
 	jsonOut := fs.String("json", "", "write the LOADTEST.json artifact to this file")
@@ -781,7 +801,7 @@ func cmdLoadtest(args []string, stdout, stderr io.Writer) error {
 	maxP99 := fs.Duration("max-p99", 0, "gate: fail if the gate phase p99 exceeds this")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
-		return fmt.Errorf("usage: modpeg loadtest [-url http://host:port] [-d dir] [-mode closed|open|ramp] [-workers n] [-rps r] [-duration d] [-ramp-start r] [-ramp-step r] [-ramp-max r] [-step d] [-slo-p99 d] [-slo-errors f] [-seed n] [-warmup d] [-no-adversarial] [-omit-values] [-no-scrape] [-json file] [-min-rps r] [-max-p99 d]")
+		return fmt.Errorf("usage: modpeg loadtest [-url http://host:port] [-d dir] [-mode closed|open|ramp] [-workers n] [-rps r] [-duration d] [-ramp-start r] [-ramp-step r] [-ramp-max r] [-step d] [-slo-p99 d] [-slo-errors f] [-seed n] [-warmup d] [-no-adversarial] [-tenants n] [-omit-values] [-no-scrape] [-json file] [-min-rps r] [-max-p99 d]")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -789,14 +809,20 @@ func cmdLoadtest(args []string, stdout, stderr io.Writer) error {
 
 	base := *url
 	if base == "" {
+		limits := modpeg.Limits{
+			MaxInputBytes:    4 << 20,
+			MaxMemoBytes:     64 << 20,
+			MaxCallDepth:     100000,
+			MaxParseDuration: 5 * time.Second,
+		}
+		reg, err := registry.New(registry.Config{DefaultLimits: limits, ModuleDir: *dir})
+		if err != nil {
+			return err
+		}
 		s, err := serve.New(serve.Config{
 			ModuleDir: *dir,
-			Limits: modpeg.Limits{
-				MaxInputBytes:    4 << 20,
-				MaxMemoBytes:     64 << 20,
-				MaxCallDepth:     100000,
-				MaxParseDuration: 5 * time.Second,
-			},
+			Limits:    limits,
+			Registry:  reg,
 		})
 		if err != nil {
 			return err
@@ -836,6 +862,7 @@ func cmdLoadtest(args []string, stdout, stderr io.Writer) error {
 		SLO:           loadbench.SLO{MaxP99: *sloP99, MaxErrorRate: *sloErr},
 		Seed:          *seed,
 		OmitValues:    *omitValues,
+		Tenants:       *tenants,
 		Warmup:        *warmup,
 		ScrapeMetrics: !*noScrape,
 	})

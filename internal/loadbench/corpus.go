@@ -104,27 +104,37 @@ type preparedItem struct {
 // seed, and workers walk the ring round-robin — so every run with the
 // same corpus and seed issues the same request sequence. With
 // omitValues set, every request asks the server to skip the AST in the
-// response, isolating parse cost from serialization cost.
-func buildRing(corpus []Item, seed int64, omitValues bool) []*preparedItem {
+// response, isolating parse cost from serialization cost. A non-empty
+// tenants list fans each item out once per tenant (the request body's
+// tenant field routes it through the registry), so the mix is uniform
+// across tenants.
+func buildRing(corpus []Item, seed int64, omitValues bool, tenants []string) []*preparedItem {
+	variants := tenants
+	if len(variants) == 0 {
+		variants = []string{""}
+	}
 	var ring []*preparedItem
 	for i := range corpus {
 		it := &corpus[i]
-		body, err := json.Marshal(struct {
-			Grammar   string `json:"grammar"`
-			Input     string `json:"input"`
-			Name      string `json:"name"`
-			OmitValue bool   `json:"omit_value,omitempty"`
-		}{it.Grammar, it.Input, it.Name, omitValues})
-		if err != nil {
-			continue // statically impossible: strings always marshal
-		}
-		p := &preparedItem{Item: *it, body: body}
-		w := it.Weight
-		if w <= 0 {
-			w = 1
-		}
-		for n := 0; n < w; n++ {
-			ring = append(ring, p)
+		for _, tenant := range variants {
+			body, err := json.Marshal(struct {
+				Grammar   string `json:"grammar"`
+				Input     string `json:"input"`
+				Name      string `json:"name"`
+				Tenant    string `json:"tenant,omitempty"`
+				OmitValue bool   `json:"omit_value,omitempty"`
+			}{it.Grammar, it.Input, it.Name, tenant, omitValues})
+			if err != nil {
+				continue // statically impossible: strings always marshal
+			}
+			p := &preparedItem{Item: *it, body: body}
+			w := it.Weight
+			if w <= 0 {
+				w = 1
+			}
+			for n := 0; n < w; n++ {
+				ring = append(ring, p)
+			}
 		}
 	}
 	r := rand.New(rand.NewSource(seed))

@@ -74,6 +74,13 @@ type Config struct {
 	// (ParseRequest.OmitValue), measuring parse capacity rather than
 	// parse + serialization capacity.
 	OmitValues bool
+	// Tenants, when positive, switches to mixed-tenant registry mode:
+	// every distinct corpus grammar is uploaded to tenants t0..t{N-1}
+	// through the registry API before the first phase, and each request
+	// pins one tenant so the whole run flows through registry leases
+	// instead of the static grammar table. Needs a registry-enabled
+	// server.
+	Tenants int
 	// Warmup, when positive, runs a short unmeasured closed-loop burst
 	// before the first phase so parser caches and connection pools are
 	// hot.
@@ -146,7 +153,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
-	ring := buildRing(cfg.Corpus, cfg.Seed, cfg.OmitValues)
+	var tenants []string
+	if cfg.Tenants > 0 {
+		tenants = tenantNames(cfg.Tenants)
+		if err := registerTenants(ctx, &cfg, tenants); err != nil {
+			return nil, err
+		}
+	}
+	ring := buildRing(cfg.Corpus, cfg.Seed, cfg.OmitValues, tenants)
 	if len(ring) == 0 {
 		return nil, errors.New("loadbench: empty corpus")
 	}
@@ -155,6 +169,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Target:      cfg.BaseURL,
 		Mode:        cfg.Mode,
 		CorpusItems: len(cfg.Corpus),
+		Tenants:     cfg.Tenants,
 		SLO:         cfg.SLO,
 		Seed:        cfg.Seed,
 	}

@@ -9,6 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"modpeg"
+	"modpeg/internal/registry"
 	"modpeg/internal/serve"
 )
 
@@ -177,7 +179,7 @@ func TestOutcomeClassification(t *testing.T) {
 		{Item{Grammar: "no.such", Input: "x"}, "unknown-grammar"},
 	}
 	for _, tc := range cases {
-		ring := buildRing([]Item{tc.item}, 0, false)
+		ring := buildRing([]Item{tc.item}, 0, false, nil)
 		if got := c.do(context.Background(), ring[0]); got != tc.want {
 			t.Errorf("classify %q/%q = %q, want %q", tc.item.Grammar, tc.item.Input, got, tc.want)
 		}
@@ -188,7 +190,7 @@ func TestOutcomeClassification(t *testing.T) {
 	}))
 	defer plain.Close()
 	c2 := &client{cfg: &Config{BaseURL: plain.URL, Client: http.DefaultClient}}
-	ring := buildRing([]Item{{Grammar: "calc.full", Input: "1"}}, 0, false)
+	ring := buildRing([]Item{{Grammar: "calc.full", Input: "1"}}, 0, false, nil)
 	if got := c2.do(context.Background(), ring[0]); got != "http:418" {
 		t.Errorf("untyped error body classified as %q, want http:418", got)
 	}
@@ -224,7 +226,7 @@ func TestUnexpectedMatrix(t *testing.T) {
 
 func TestBuildRingDeterministic(t *testing.T) {
 	corpus := DefaultCorpus(true)
-	a, b := buildRing(corpus, 42, false), buildRing(corpus, 42, false)
+	a, b := buildRing(corpus, 42, false, nil), buildRing(corpus, 42, false, nil)
 	if len(a) == 0 || len(a) != len(b) {
 		t.Fatalf("ring lengths differ: %d vs %d", len(a), len(b))
 	}
@@ -318,5 +320,77 @@ func TestScrapeLiveEndpoint(t *testing.T) {
 	}
 	if s.Goroutines <= 0 || s.HeapBytes <= 0 || s.UptimeSeconds <= 0 {
 		t.Errorf("gauges not populated: %+v", s)
+	}
+}
+
+// TestMixedTenantMode drives the registry data path: grammars are
+// pre-registered per tenant over HTTP and every request leases a
+// tenant's active version instead of hitting the static table.
+func TestMixedTenantMode(t *testing.T) {
+	reg, err := registry.New(registry.Config{
+		DefaultLimits: modpeg.Limits{
+			MaxInputBytes: 1 << 20, MaxCallDepth: 100000,
+			MaxParseDuration: 5 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Corpus:   testCorpus(),
+		Mode:     ModeClosed,
+		Workers:  4,
+		Duration: 300 * time.Millisecond,
+		Seed:     1,
+		Tenants:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tenants != 3 {
+		t.Errorf("report tenants = %d, want 3", rep.Tenants)
+	}
+	ph := rep.Phases[0]
+	if ph.Outcomes["ok"] == 0 || ph.Outcomes["syntax"] == 0 {
+		t.Errorf("outcome mix missing classes: %v", ph.Outcomes)
+	}
+	if ph.Unexpected != 0 {
+		t.Errorf("unexpected errors in tenant mode: %d (%v)", ph.Unexpected, ph.Outcomes)
+	}
+	// All three tenants were registered and served.
+	l := reg.List()
+	if len(l.Tenants) != 3 {
+		t.Fatalf("registry holds %d tenants, want 3", len(l.Tenants))
+	}
+	for _, ti := range l.Tenants {
+		if len(ti.Grammars) != 2 {
+			t.Errorf("tenant %s has %d grammars, want 2 (calc.full, json.value)", ti.Name, len(ti.Grammars))
+		}
+	}
+}
+
+// TestMixedTenantModeNeedsRegistry: a server without a registry fails
+// the pre-registration step loudly instead of producing a phase of
+// errors.
+func TestMixedTenantModeNeedsRegistry(t *testing.T) {
+	ts := newServeEndpoint(t)
+	_, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Corpus:   testCorpus(),
+		Mode:     ModeClosed,
+		Workers:  1,
+		Duration: 100 * time.Millisecond,
+		Tenants:  2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "uploading") {
+		t.Fatalf("err = %v, want an upload failure", err)
 	}
 }

@@ -60,6 +60,8 @@ type Report struct {
 	Mode string `json:"mode"`
 	// CorpusItems is the number of distinct items in the traffic mix.
 	CorpusItems int `json:"corpus_items"`
+	// Tenants is the mixed-tenant fan-out (0 = static grammar table).
+	Tenants int `json:"tenants,omitempty"`
 	// Seed is the corpus shuffle seed (reruns with the same seed issue
 	// the same request sequence).
 	Seed int64 `json:"seed"`
@@ -130,6 +132,9 @@ func (r *Report) WriteText(w io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "loadtest %s  mode=%s  corpus=%d items  seed=%d\n",
 		r.Target, r.Mode, r.CorpusItems, r.Seed)
+	if r.Tenants > 0 {
+		fmt.Fprintf(&b, "mixed-tenant registry mode: %d tenants\n", r.Tenants)
+	}
 	if r.SLO.enabled() {
 		fmt.Fprintf(&b, "SLO: p99 <= %s, unexpected-error rate <= %.2f%%\n",
 			time.Duration(r.SLO.MaxP99), r.SLO.MaxErrorRate*100)

@@ -1,0 +1,82 @@
+package loadbench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"modpeg/internal/grammars"
+)
+
+// Mixed-tenant mode (Config.Tenants > 0) exercises the registry data
+// path under load: before the first phase every distinct corpus grammar
+// is uploaded — bundled source, unchanged — to tenants t0..t{N-1}
+// through POST /grammars/{tenant}/{name}, and each request in the ring
+// then pins one tenant. The server resolves every such request through
+// a registry lease (atomic active-version load + inflight count)
+// instead of the static grammar table, so the run measures the swap
+// machinery's steady-state cost, and hot-swapping a tenant's grammar
+// mid-run is safe by construction.
+
+// tenantNames returns the fixed tenant naming scheme t0..t{n-1}.
+func tenantNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	return names
+}
+
+// registerTenants uploads every distinct corpus grammar to each tenant
+// and fails fast on anything but a 201: a loadtest against a server
+// without a registry (404s here) should not degenerate into a phase
+// full of unknown-grammar errors.
+func registerTenants(ctx context.Context, cfg *Config, names []string) error {
+	seen := make(map[string]bool)
+	for _, it := range cfg.Corpus {
+		if seen[it.Grammar] {
+			continue
+		}
+		seen[it.Grammar] = true
+		src, err := grammars.Source(it.Grammar)
+		if err != nil {
+			return fmt.Errorf("loadbench: tenants mode needs bundled sources: %w", err)
+		}
+		body, err := json.Marshal(struct {
+			Source string `json:"source"`
+		}{src})
+		if err != nil {
+			return err
+		}
+		for _, tenant := range names {
+			if err := uploadGrammar(ctx, cfg, tenant, it.Grammar, body); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func uploadGrammar(ctx context.Context, cfg *Config, tenant, grammar string, body []byte) error {
+	url := fmt.Sprintf("%s/grammars/%s/%s", cfg.BaseURL, tenant, grammar)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadbench: uploading %s/%s: %w", tenant, grammar, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("loadbench: uploading %s/%s: HTTP %d: %s",
+			tenant, grammar, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"modpeg/internal/registry"
+)
+
+// This file is the registry's HTTP surface — the runtime grammar
+// lifecycle of a multi-tenant parse service:
+//
+//	POST   /grammars/{tenant}/{name}            upload a module version
+//	GET    /grammars                            full registry listing
+//	GET    /grammars/{tenant}/{name}            one grammar's versions
+//	DELETE /grammars/{tenant}/{name}/{version}  delete / roll back
+//
+// Uploads compile and conformance-smoke in the background and respond
+// with the build outcome; activation is an atomic pointer swap, so the
+// first /parse request after a 201 already sees the new version.
+// Registry endpoints exist only when Config.Registry is set.
+
+// UploadResponse is the POST /grammars/{tenant}/{name} success body.
+type UploadResponse struct {
+	Tenant  string `json:"tenant"`
+	Grammar string `json:"grammar"`
+	Version int    `json:"version"`
+	State   string `json:"state"`
+	// Label is the telemetry label ("tenant/grammar@vN") the version's
+	// parses are counted under in /metrics.
+	Label string `json:"label"`
+	// Active reports whether this upload activated the version.
+	Active bool `json:"active"`
+}
+
+// registryStatus maps a typed registry error onto an HTTP status.
+func registryStatus(err error) (int, ErrorResponse) {
+	var re *registry.Error
+	if !errors.As(err, &re) {
+		return http.StatusInternalServerError, ErrorResponse{Error: "engine", Message: err.Error()}
+	}
+	resp := ErrorResponse{Error: "registry-" + string(re.Kind), Message: re.Error()}
+	switch re.Kind {
+	case registry.KindNotFound:
+		return http.StatusNotFound, resp
+	case registry.KindCapacity:
+		return http.StatusTooManyRequests, resp
+	case registry.KindModule, registry.KindSmoke:
+		return http.StatusUnprocessableEntity, resp
+	default:
+		return http.StatusBadRequest, resp
+	}
+}
+
+func (s *Server) handleRegistryUpload(w http.ResponseWriter, r *http.Request) {
+	maxBody := s.cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var up registry.Upload
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&up); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, ErrorResponse{
+			Error: "bad-request", Message: "invalid upload body: " + err.Error()})
+		return
+	}
+	tenant, name := r.PathValue("tenant"), r.PathValue("name")
+	info, err := s.cfg.Registry.Upload(r.Context(), tenant, name, up)
+	if err != nil {
+		status, resp := registryStatus(err)
+		writeError(w, status, resp)
+		return
+	}
+	writeJSON(w, http.StatusCreated, UploadResponse{
+		Tenant:  tenant,
+		Grammar: name,
+		Version: info.Version,
+		State:   info.State,
+		Label:   registry.Label(tenant, name, info.Version),
+		Active:  info.State == "active",
+	})
+}
+
+func (s *Server) handleRegistryList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Registry.List())
+}
+
+func (s *Server) handleRegistryGet(w http.ResponseWriter, r *http.Request) {
+	gi, err := s.cfg.Registry.Grammar(r.PathValue("tenant"), r.PathValue("name"))
+	if err != nil {
+		status, resp := registryStatus(err)
+		writeError(w, status, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, gi)
+}
+
+func (s *Server) handleRegistryDelete(w http.ResponseWriter, r *http.Request) {
+	versionNumber, err := strconv.Atoi(r.PathValue("version"))
+	if err != nil || versionNumber <= 0 {
+		writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error: "bad-request", Message: "version must be a positive integer"})
+		return
+	}
+	res, err := s.cfg.Registry.Delete(r.PathValue("tenant"), r.PathValue("name"), versionNumber)
+	if err != nil {
+		status, resp := registryStatus(err)
+		writeError(w, status, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"modpeg"
+	"modpeg/internal/registry"
 	"modpeg/internal/telemetry"
 	"modpeg/internal/vm"
 )
@@ -62,6 +63,11 @@ type Config struct {
 	Logger *slog.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Registry, when set, enables the multi-tenant grammar registry:
+	// the /grammars upload/list/delete endpoints, and tenant-scoped
+	// /parse requests (ParseRequest.Tenant/Version) served from
+	// hot-swappable registered grammar versions.
+	Registry *registry.Registry
 }
 
 // Server is a parse service. Create one with New, expose it with
@@ -173,6 +179,12 @@ func withRequestID(next http.Handler) http.Handler {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/parse", s.handleParse)
+	if s.cfg.Registry != nil {
+		mux.HandleFunc("GET /grammars", s.handleRegistryList)
+		mux.HandleFunc("GET /grammars/{tenant}/{name}", s.handleRegistryGet)
+		mux.HandleFunc("POST /grammars/{tenant}/{name}", s.handleRegistryUpload)
+		mux.HandleFunc("DELETE /grammars/{tenant}/{name}/{version}", s.handleRegistryDelete)
+	}
 	mux.Handle("/metrics", telemetry.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -231,8 +243,17 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 
 // ParseRequest is the POST /parse body.
 type ParseRequest struct {
-	// Grammar names the top module, e.g. "calc.core".
+	// Grammar names the top module, e.g. "calc.core". With Tenant set
+	// it instead names a registered grammar of that tenant.
 	Grammar string `json:"grammar"`
+	// Tenant routes the request to the grammar registry: the parse
+	// runs against tenant's registered grammar named Grammar (the
+	// active version, or the one pinned by Version) under the tenant's
+	// budgets. Empty uses the server's statically configured grammars.
+	Tenant string `json:"tenant,omitempty"`
+	// Version pins a specific registered grammar version; 0 parses
+	// against the currently active version. Only valid with Tenant.
+	Version int `json:"version,omitempty"`
 	// Production optionally overrides the start production (fully
 	// qualified, e.g. "calc.core.Sum"). Empty uses the grammar's root.
 	Production string `json:"production,omitempty"`
@@ -257,7 +278,12 @@ type ParseRequest struct {
 
 // ParseResponse is the POST /parse success body.
 type ParseResponse struct {
-	Grammar    string          `json:"grammar"`
+	Grammar string `json:"grammar"`
+	// Tenant and Version echo registry-backed requests; Version is the
+	// grammar version that actually served the parse (the active one
+	// when the request did not pin).
+	Tenant     string          `json:"tenant,omitempty"`
+	Version    int             `json:"version,omitempty"`
 	Production string          `json:"production,omitempty"`
 	Value      json.RawMessage `json:"value,omitempty"`
 	Stats      StatsJSON       `json:"stats"`
@@ -338,31 +364,17 @@ func writeError(w http.ResponseWriter, status int, resp ErrorResponse) {
 	writeJSON(w, status, resp)
 }
 
-// effectiveLimits merges the request's overrides into the server's
-// defaults. Overrides only tighten: min(server, request) for every
-// budget the request sets, where "unset server budget" means the
-// request value stands alone.
-func (s *Server) effectiveLimits(req *ParseRequest) modpeg.Limits {
-	lim := s.cfg.Limits
-	tighten := func(base, override int) int {
-		if override <= 0 {
-			return base
-		}
-		if base <= 0 || override < base {
-			return override
-		}
-		return base
-	}
-	lim.MaxInputBytes = tighten(lim.MaxInputBytes, req.MaxInputBytes)
-	lim.MaxMemoBytes = tighten(lim.MaxMemoBytes, req.MaxMemoBytes)
-	lim.MaxCallDepth = tighten(lim.MaxCallDepth, req.MaxCallDepth)
-	if req.TimeoutMS > 0 {
-		d := time.Duration(req.TimeoutMS) * time.Millisecond
-		if lim.MaxParseDuration <= 0 || d < lim.MaxParseDuration {
-			lim.MaxParseDuration = d
-		}
-	}
-	return lim
+// effectiveLimits layers the request's overrides onto base (the server
+// defaults, already tightened by tenant budgets for registry requests).
+// Every layer only tightens: no request can exceed the layer above it
+// (vm.Limits.Tighten).
+func effectiveLimits(base modpeg.Limits, req *ParseRequest) modpeg.Limits {
+	return base.Tighten(modpeg.Limits{
+		MaxInputBytes:    req.MaxInputBytes,
+		MaxMemoBytes:     req.MaxMemoBytes,
+		MaxCallDepth:     req.MaxCallDepth,
+		MaxParseDuration: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
 }
 
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
@@ -400,25 +412,62 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 			Error: "bad-request", Message: "missing grammar"})
 		return
 	}
-	if s.allowed != nil && !s.allowed[req.Grammar] {
-		writeError(w, http.StatusBadRequest, ErrorResponse{
-			Error: "unknown-grammar",
-			Message: fmt.Sprintf("grammar %q is not served (configured: %v)",
-				req.Grammar, s.Grammars())})
-		return
-	}
-	p, err := s.parserFor(req.Grammar, req.Production)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, ErrorResponse{
-			Error: "unknown-grammar", Message: err.Error()})
-		return
+	base := s.cfg.Limits
+	var p *modpeg.Parser
+	servedVersion := 0
+	switch {
+	case req.Tenant != "":
+		// Registry-backed parse: lease the tenant's grammar version
+		// (active, or pinned by req.Version) and hold the lease until
+		// the response is written — the in-flight count is the drain
+		// signal a hot swap's old version waits out.
+		if s.cfg.Registry == nil {
+			writeError(w, http.StatusBadRequest, ErrorResponse{
+				Error: "bad-request", Message: "this server has no grammar registry"})
+			return
+		}
+		if req.Production != "" {
+			writeError(w, http.StatusBadRequest, ErrorResponse{
+				Error: "bad-request", Message: "production override is not supported for registry grammars"})
+			return
+		}
+		lease, err := s.cfg.Registry.Acquire(req.Tenant, req.Grammar, req.Version)
+		if err != nil {
+			status, resp := registryStatus(err)
+			writeError(w, status, resp)
+			return
+		}
+		defer lease.Release()
+		p = lease.Parser
+		base = base.Tighten(lease.Limits)
+		servedVersion = lease.Version
+	default:
+		if s.allowed != nil && !s.allowed[req.Grammar] {
+			writeError(w, http.StatusBadRequest, ErrorResponse{
+				Error: "unknown-grammar",
+				Message: fmt.Sprintf("grammar %q is not served (configured: %v)",
+					req.Grammar, s.Grammars())})
+			return
+		}
+		if req.Version != 0 {
+			writeError(w, http.StatusBadRequest, ErrorResponse{
+				Error: "bad-request", Message: "version pinning requires a tenant"})
+			return
+		}
+		var err error
+		p, err = s.parserFor(req.Grammar, req.Production)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrorResponse{
+				Error: "unknown-grammar", Message: err.Error()})
+			return
+		}
 	}
 
 	name := req.Name
 	if name == "" {
 		name = "request"
 	}
-	lim := s.effectiveLimits(&req)
+	lim := effectiveLimits(base, &req)
 
 	var (
 		val      modpeg.Value
@@ -442,6 +491,8 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := ParseResponse{
 		Grammar:    req.Grammar,
+		Tenant:     req.Tenant,
+		Version:    servedVersion,
 		Production: req.Production,
 		Stats:      statsJSON(st),
 		DurationNS: elapsed.Nanoseconds(),

@@ -64,6 +64,33 @@ type Limits struct {
 	Strict bool
 }
 
+// Tighten merges another Limits into this one, returning the stricter
+// of the two budget by budget: for each budget the smaller positive
+// value wins (zero means unlimited and never loosens a set budget), and
+// Strict holds if either side set it. This is the layering primitive of
+// a multi-tenant service — server defaults tightened by tenant budgets
+// tightened by per-request overrides — with the invariant that no layer
+// can ever exceed the one above it.
+func (l Limits) Tighten(o Limits) Limits {
+	tight := func(a, b int) int {
+		if b <= 0 {
+			return a
+		}
+		if a <= 0 || b < a {
+			return b
+		}
+		return a
+	}
+	l.MaxInputBytes = tight(l.MaxInputBytes, o.MaxInputBytes)
+	l.MaxMemoBytes = tight(l.MaxMemoBytes, o.MaxMemoBytes)
+	l.MaxCallDepth = tight(l.MaxCallDepth, o.MaxCallDepth)
+	if o.MaxParseDuration > 0 && (l.MaxParseDuration <= 0 || o.MaxParseDuration < l.MaxParseDuration) {
+		l.MaxParseDuration = o.MaxParseDuration
+	}
+	l.Strict = l.Strict || o.Strict
+	return l
+}
+
 // LimitKind names the budget a governed parse exhausted.
 type LimitKind uint8
 

@@ -439,3 +439,50 @@ func TestPrefixGoverned(t *testing.T) {
 
 // valuesEqual compares semantic values structurally.
 func valuesEqual(a, b ast.Value) bool { return ast.Equal(a, b) }
+
+// TestTighten covers the budget-layering algebra the serve/registry
+// stack relies on: server defaults ⊇ tenant budgets ⊇ request
+// overrides, where 0 means unlimited and a tightening can only shrink.
+func TestTighten(t *testing.T) {
+	base := Limits{
+		MaxInputBytes:    1000,
+		MaxMemoBytes:     0, // unlimited
+		MaxCallDepth:     50,
+		MaxParseDuration: time.Second,
+	}
+	got := base.Tighten(Limits{
+		MaxInputBytes:    500,             // shrinks
+		MaxMemoBytes:     4096,            // bounds the unlimited
+		MaxCallDepth:     100,             // looser: ignored
+		MaxParseDuration: 2 * time.Second, // looser: ignored
+	})
+	want := Limits{
+		MaxInputBytes:    500,
+		MaxMemoBytes:     4096,
+		MaxCallDepth:     50,
+		MaxParseDuration: time.Second,
+	}
+	if got != want {
+		t.Errorf("Tighten = %+v, want %+v", got, want)
+	}
+
+	// Zero on the override side keeps the base bound (0 never loosens).
+	if got := base.Tighten(Limits{}); got != base {
+		t.Errorf("Tighten(zero) = %+v, want base %+v", got, base)
+	}
+	// Strict is sticky in either direction.
+	if !base.Tighten(Limits{Strict: true}).Strict {
+		t.Error("Tighten must propagate Strict from the override")
+	}
+	strictBase := base
+	strictBase.Strict = true
+	if !strictBase.Tighten(Limits{}).Strict {
+		t.Error("Tighten must keep the base's Strict")
+	}
+	// Tighten is idempotent and order-insensitive for its min semantics.
+	a := Limits{MaxInputBytes: 10, MaxParseDuration: time.Minute}
+	b := Limits{MaxInputBytes: 20, MaxParseDuration: time.Millisecond}
+	if x, y := a.Tighten(b), b.Tighten(a); x != y {
+		t.Errorf("Tighten not commutative: %+v vs %+v", x, y)
+	}
+}

@@ -1,9 +1,12 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke test of `modpeg serve`: build the
 # binary, start the service, hit /healthz, /readyz, POST /parse (both a
-# success and a syntax rejection), and /metrics, then send SIGTERM and
-# require a clean graceful-shutdown exit. Plain sh + curl so it runs in
-# CI and locally alike.
+# success and a syntax rejection), and /metrics, exercise the grammar
+# registry lifecycle over real HTTP (upload a base grammar, extend it
+# with a modification module, hot-swap a new version, pin the old one,
+# reject a smoke-failing upload, roll back), then send SIGTERM and
+# require a clean graceful-shutdown exit. Plain sh + curl + jq so it
+# runs in CI and locally alike.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,7 +17,8 @@ base="http://$addr"
 
 go build -o "$bin" ./cmd/modpeg
 
-"$bin" serve -addr "$addr" -grammars calc.core,json.value 2>"$tmp/serve.log" &
+"$bin" serve -addr "$addr" -grammars calc.core,json.value \
+	-registry-dir "$tmp/registry" 2>"$tmp/serve.log" &
 pid=$!
 cleanup() {
 	kill -9 "$pid" 2>/dev/null || true
@@ -80,6 +84,123 @@ if [ "$code" != "422" ]; then
 fi
 grep -qi '^x-request-id: smoke-42' "$tmp/err.hdr"
 grep -q '"request_id":"smoke-42"' "$tmp/err.json"
+
+# --------------------------------------------------- registry lifecycle
+# Upload a base grammar, extend it with a modification module, hot-swap
+# a new base version, pin the old one, watch a smoke-failing upload get
+# rejected without touching the active version, and roll back.
+
+cat >"$tmp/lang1.mpeg" <<'EOF'
+module acme.lang;
+option root = Top;
+public Top = Item+ EOF ;
+Item = <a> "a" ;
+void EOF = !. ;
+EOF
+
+cat >"$tmp/lang2.mpeg" <<'EOF'
+module acme.lang;
+option root = Top;
+public Top = Item+ EOF ;
+Item = <a> "a" / <z> "z" ;
+void EOF = !. ;
+EOF
+
+cat >"$tmp/lang3-broken.mpeg" <<'EOF'
+module acme.lang;
+option root = Top;
+public Top = Item+ EOF ;
+Item = <q> "q" ;
+void EOF = !. ;
+EOF
+
+cat >"$tmp/ext.mpeg" <<'EOF'
+module acme.ext;
+modify acme.lang;
+option root = acme.lang.Top;
+Item += <b> "b" ;
+EOF
+
+# POST a module upload; body is {source, probes} built with jq so the
+# multi-line .mpeg source is JSON-encoded correctly.
+upload() { # upload <tenant> <grammar> <file> [extra-jq-filter]
+	jq -Rs "{source: .}${4:+ + $4}" <"$3" |
+		curl -sS -o "$tmp/upload.json" -w '%{http_code}' \
+			-X POST "$base/grammars/$1/$2" \
+			-H 'Content-Type: application/json' -d @-
+}
+
+# v1 of the base, with a probe corpus ("aa" must parse) that gates
+# every later version of acme.lang.
+code=$(upload acme acme.lang "$tmp/lang1.mpeg" '{probes: [{input: "aa"}]}')
+if [ "$code" != "201" ]; then
+	echo "serve_smoke: base upload returned $code, want 201" >&2
+	cat "$tmp/upload.json" >&2
+	exit 1
+fi
+grep -q '"label":"acme/acme.lang@v1"' "$tmp/upload.json"
+grep -q '"active":true' "$tmp/upload.json"
+
+# The uploaded grammar serves immediately.
+out=$(curl -fsS -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"tenant":"acme","grammar":"acme.lang","input":"aaa"}')
+printf '%s\n' "$out" | grep -q '"version":1'
+
+# An extension module modifies the registered base without touching it.
+code=$(upload acme acme.ext "$tmp/ext.mpeg")
+[ "$code" = "201" ] || { echo "serve_smoke: ext upload returned $code" >&2; cat "$tmp/upload.json" >&2; exit 1; }
+curl -fsS -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"tenant":"acme","grammar":"acme.ext","input":"ab"}' |
+	grep -q '"version":1'
+
+# Hot swap: v2 of the base activates atomically; the very next request
+# parses against it.
+code=$(upload acme acme.lang "$tmp/lang2.mpeg")
+[ "$code" = "201" ] || { echo "serve_smoke: v2 upload returned $code" >&2; cat "$tmp/upload.json" >&2; exit 1; }
+curl -fsS -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"tenant":"acme","grammar":"acme.lang","input":"az"}' |
+	grep -q '"version":2'
+
+# The drained v1 stays pinnable — and still rejects v2's language.
+code=$(curl -sS -o "$tmp/pin.json" -w '%{http_code}' -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"tenant":"acme","grammar":"acme.lang","input":"az","version":1}')
+[ "$code" = "422" ] || { echo "serve_smoke: pinned v1 of \"az\" returned $code, want 422" >&2; exit 1; }
+
+# A version that fails the probe corpus is rejected and never activates.
+code=$(upload acme acme.lang "$tmp/lang3-broken.mpeg")
+[ "$code" = "422" ] || { echo "serve_smoke: smoke-failing upload returned $code, want 422" >&2; cat "$tmp/upload.json" >&2; exit 1; }
+grep -q '"error":"registry-smoke"' "$tmp/upload.json"
+curl -fsS -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"tenant":"acme","grammar":"acme.lang","input":"az"}' |
+	grep -q '"version":2'
+
+# Registry traffic is labeled tenant/grammar@version in /metrics.
+curl -fsS "$base/metrics" |
+	grep -q 'modpeg_grammar_parses_total{grammar="acme/acme.lang@v2",outcome="completed"}'
+
+# Listings expose tenants, versions, states, and in-flight counts.
+listing=$(curl -fsS "$base/grammars")
+printf '%s\n' "$listing" | jq -e '.tenants[0].name == "acme"' >/dev/null
+printf '%s\n' "$listing" | jq -e '[.tenants[0].grammars[] | .name] == ["acme.ext", "acme.lang"]' >/dev/null
+printf '%s\n' "$listing" | jq -e '.tenants[0].grammars[] | select(.name == "acme.lang") | .active == 2' >/dev/null
+
+# Rollback: deleting the active v2 reactivates v1.
+code=$(curl -sS -o "$tmp/del.json" -w '%{http_code}' -X DELETE "$base/grammars/acme/acme.lang/2")
+[ "$code" = "200" ] || { echo "serve_smoke: delete returned $code, want 200" >&2; cat "$tmp/del.json" >&2; exit 1; }
+jq -e '.new_active == 1' <"$tmp/del.json" >/dev/null
+curl -fsS -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"tenant":"acme","grammar":"acme.lang","input":"aa"}' |
+	grep -q '"version":1'
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"tenant":"acme","grammar":"acme.lang","input":"az"}')
+[ "$code" = "422" ] || { echo "serve_smoke: post-rollback \"az\" returned $code, want 422" >&2; exit 1; }
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$pid"
