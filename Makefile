@@ -11,21 +11,23 @@ test:
 verify:
 	sh scripts/verify.sh
 
-# Engine-comparison (40 KB java), session-residency, observability-
-# overhead, resource-governance, incremental-reparse, and telemetry-
-# overhead benchmarks; writes BENCH_6.json.
+# Engine-comparison (40 KB java), compiled-vs-interpreter paired
+# comparison, session-residency, observability-overhead, resource-
+# governance, incremental-reparse, and telemetry-overhead benchmarks;
+# writes BENCH_9.json.
 bench:
 	sh scripts/bench.sh
 
-# Gate a bench JSON (default BENCH_6.json): expected derived rows
-# present, void-grammar steady state at exactly 0 allocs/op, and the
-# java-40KB-ns-per-byte hot-path ratchet.
+# Gate a bench JSON (default BENCH_9.json): expected derived rows
+# present, void-grammar steady state at exactly 0 allocs/op on both
+# engines, the java-40KB-ns-per-byte hot-path ratchet, and the
+# compiled-engine speedup floors.
 bench-check:
 	sh scripts/bench_check.sh
 
 # Old-vs-new ns/op deltas for the Table 3 engine rows.
 bench-diff:
-	sh scripts/benchdiff.sh BENCH_5.json BENCH_6.json
+	sh scripts/benchdiff.sh BENCH_6.json BENCH_9.json
 
 # Per-production profile of the bundled Java grammar on a generated
 # 40 KB workload: hot productions, memo behaviour, engine metrics.

@@ -1,0 +1,145 @@
+package analysis
+
+import "modpeg/internal/peg"
+
+// BacktrackPrefixes returns the productions an ordered parse can invoke
+// a second time at the same input position — the memoization set that
+// actually pays for itself. A packrat column earns its keep only when
+// some choice point re-enters the production at a position it has
+// already been tried at, and in a PEG those re-entries are statically
+// visible: they are the common leftmost prefixes of expressions that
+// compete for the same starting position. Three constructs create such
+// competition:
+//
+//   - ordered choice: when `A = X α / Y β` fails out of the first
+//     alternative, the second starts over at the choice's position, so
+//     any production on both alternatives' leftmost frontiers is parsed
+//     twice there (Conditional's `c:Or "?" … / Or` re-enters Or);
+//   - a nullable prefix in a sequence: in `A? B`, when A succeeds empty
+//     or fails, B probes the same position A just examined;
+//   - left-recursion suffixes: each growth step tries every suffix at
+//     the current end, so the suffixes' leftmost frontiers compete.
+//
+// For each competition group the pairwise intersections of the
+// competitors' transitive leftmost-call closures are taken, and only
+// the outermost members of each intersection are kept: once the
+// outermost shared production memo-hits, the retry never descends to
+// the inner ones, so memoizing those would be dead weight (Conditional
+// retry hits LogicalOr and never re-probes the tower below it).
+//
+// The compiled engine (internal/vm) uses this set as its memo policy in
+// place of the interpreter's profile-guided inlining: it needs no
+// profile, which is what lets registry uploads compile cold.
+func (a *Analysis) BacktrackPrefixes() map[string]bool {
+	// Transitive closure of the leftmost-call graph, per production.
+	direct := make(map[string][]string, len(a.Grammar.Order))
+	for _, name := range a.Grammar.Order {
+		p := a.Grammar.Prods[name]
+		if p.Choice == nil {
+			continue
+		}
+		set := map[string]bool{}
+		a.leftCalls(p.Choice, set)
+		direct[name] = sortedKeys(set)
+	}
+	closure := make(map[string]map[string]bool, len(direct))
+	for name := range direct {
+		seen := map[string]bool{}
+		stack := append([]string(nil), direct[name]...)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, direct[n]...)
+		}
+		closure[name] = seen
+	}
+
+	// expand is a competitor's leftmost frontier: the productions its
+	// expression can call before consuming input, plus everything those
+	// can left-call in turn.
+	expand := func(e peg.Expr) map[string]bool {
+		out := map[string]bool{}
+		a.leftCalls(e, out)
+		for _, name := range sortedKeys(out) {
+			for q := range closure[name] {
+				out[q] = true
+			}
+		}
+		return out
+	}
+
+	out := map[string]bool{}
+	mark := func(group []map[string]bool) {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				for p := range group[i] {
+					if !group[j][p] {
+						continue
+					}
+					// Keep p unless some other shared production sits
+					// strictly above it on the leftmost frontier.
+					dominated := false
+					for q := range group[i] {
+						if q != p && group[j][q] && closure[q][p] && !closure[p][q] {
+							dominated = true
+							break
+						}
+					}
+					if !dominated {
+						out[p] = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, name := range a.Grammar.Order {
+		if !a.Reachable[name] {
+			continue
+		}
+		p := a.Grammar.Prods[name]
+		if p.Choice == nil {
+			continue
+		}
+		peg.Walk(p.Choice, func(e peg.Expr) {
+			switch e := e.(type) {
+			case *peg.Choice:
+				if len(e.Alts) < 2 {
+					return
+				}
+				group := make([]map[string]bool, len(e.Alts))
+				for i, alt := range e.Alts {
+					group[i] = expand(alt)
+				}
+				mark(group)
+			case *peg.Seq:
+				// Items up to and including the first non-nullable one
+				// all start at the sequence's own position.
+				var group []map[string]bool
+				for _, it := range e.Items {
+					group = append(group, expand(it.Expr))
+					if !a.exprNullable(it.Expr) {
+						break
+					}
+				}
+				if len(group) >= 2 {
+					mark(group)
+				}
+			case *peg.LeftRec:
+				if len(e.Suffixes) < 2 {
+					return
+				}
+				group := make([]map[string]bool, len(e.Suffixes))
+				for i, s := range e.Suffixes {
+					group[i] = expand(s)
+				}
+				mark(group)
+			}
+		})
+	}
+	return out
+}

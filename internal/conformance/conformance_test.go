@@ -3,9 +3,11 @@
 // it (plus deliberately broken variants), through all four execution
 // strategies — plain backtracking is covered elsewhere; here the lanes
 // are the naive packrat baseline, the memoize-everything chunked engine,
-// the optimized engine, and the generated standalone Go parser. All lanes
-// must agree on accept/reject and produce structurally identical values;
-// lanes sharing a transform pipeline must report byte-identical errors.
+// the optimized engine (plus its scan-fusion-off and PGO variants), the
+// closure-compiled engine, and the generated standalone Go parser. All
+// lanes must agree on accept/reject and produce structurally identical
+// values; lanes sharing a transform pipeline must report byte-identical
+// errors.
 package conformance
 
 import (
@@ -105,6 +107,10 @@ func lanesFor(t *testing.T, top string) []lane {
 		{"optimized", mk(transform.Defaults(), vm.Optimized()), true},
 		{"optimized-noscan", mk(transform.Defaults(), noscan), true},
 		{"optimized+pgo", mk(transform.Defaults(), pgo), true},
+		// The closure-compiled engine shares the default pipeline and
+		// the interpreter's failure-recording edges, so its diagnostics
+		// are held to byte-identical error text, not just accept/reject.
+		{"compiled", mk(transform.Defaults(), vm.CompiledEngine()), true},
 	}
 }
 

@@ -174,6 +174,11 @@ type Upload struct {
 	// Limits optionally tightens the tenant's parse budgets (each
 	// budget may shrink, never grow; see vm.Limits.Tighten).
 	Limits *modpeg.Limits `json:"limits,omitempty"`
+	// Engine selects this version's parse engine: "" or "optimized"
+	// for the interpreting engine, "compiled" for the closure-compiled
+	// one. The choice is per version — a later upload may switch it —
+	// and survives restarts.
+	Engine string `json:"engine,omitempty"`
 }
 
 // state is a version's lifecycle phase, guarded by its grammar's mutex
@@ -193,6 +198,7 @@ const (
 type version struct {
 	number   int
 	source   string
+	engine   string // "" = optimized; "compiled" = closure-compiled
 	created  time.Time
 	st       state // guarded by grammar.mu
 	failure  string
@@ -277,6 +283,7 @@ type VersionInfo struct {
 	Version     int       `json:"version"`
 	State       string    `json:"state"`
 	Label       string    `json:"label"`
+	Engine      string    `json:"engine,omitempty"`
 	SourceBytes int       `json:"source_bytes"`
 	CreatedAt   time.Time `json:"created_at"`
 	Inflight    int64     `json:"inflight"`
@@ -302,6 +309,11 @@ func (r *Registry) Upload(ctx context.Context, tenantName, name string, up Uploa
 	}
 	if len(up.Probes) > r.cfg.MaxProbes {
 		return VersionInfo{}, errf(KindCapacity, "%d probes, cap %d", len(up.Probes), r.cfg.MaxProbes)
+	}
+	switch up.Engine {
+	case "", "optimized", "compiled":
+	default:
+		return VersionInfo{}, errf(KindBadRequest, "unknown engine %q (want optimized or compiled)", up.Engine)
 	}
 
 	// The module must parse and must declare the name it is uploaded
@@ -337,6 +349,7 @@ func (r *Registry) Upload(ctx context.Context, tenantName, name string, up Uploa
 	v := &version{
 		number:  g.nextVersion,
 		source:  up.Source,
+		engine:  up.Engine,
 		created: time.Now().UTC(),
 		st:      stateCompiling,
 	}
@@ -459,6 +472,9 @@ func (r *Registry) compile(g *grammar, v *version, modules map[string]string) (*
 	opts := []modpeg.Option{modpeg.WithModules(modules)}
 	if r.cfg.ModuleDir != "" {
 		opts = append(opts, modpeg.WithModuleDir(r.cfg.ModuleDir))
+	}
+	if v.engine == "compiled" {
+		opts = append(opts, modpeg.WithEngine(modpeg.EngineCompiled()))
 	}
 	parser, err := modpeg.New(g.name, opts...)
 	if err != nil {
@@ -698,9 +714,14 @@ type Listing struct {
 }
 
 func infoOf(v *version) VersionInfo {
+	eng := v.engine
+	if eng == "" {
+		eng = "optimized"
+	}
 	return VersionInfo{
 		Version:     v.number,
 		State:       string(v.st),
+		Engine:      eng,
 		SourceBytes: len(v.source),
 		CreatedAt:   v.created,
 		Inflight:    v.inflight.Load(),

@@ -56,6 +56,11 @@ type Config struct {
 	// Limits are the per-request parse budgets. A request may tighten
 	// them but never exceed them.
 	Limits modpeg.Limits
+	// Engine selects the parse engine for grammars the server compiles
+	// itself (bundled and module-dir grammars): "" or "optimized" for
+	// the interpreting engine, "compiled" for the closure-compiled one.
+	// Registry-served grammars choose their engine per upload instead.
+	Engine string
 	// MaxBodyBytes caps the request body; 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
 	// Logger receives one structured record per HTTP request and one
@@ -120,6 +125,13 @@ func (s *Server) parserFor(grammar, production string) (*modpeg.Parser, error) {
 	}
 	if production != "" {
 		opts = append(opts, modpeg.WithRoot(production))
+	}
+	if s.cfg.Engine != "" {
+		e, err := modpeg.EngineByName(s.cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, modpeg.WithEngine(e))
 	}
 	p, err := modpeg.New(grammar, opts...)
 	if err != nil {

@@ -57,6 +57,14 @@ type Options struct {
 	// productions are compiled inline at their call sites and their memo
 	// columns are dropped. See the PGO type.
 	PGO *PGO
+	// Compiled additionally lowers the program to the closure-threaded
+	// compiled engine (compiled.go): every node becomes a specialized
+	// Go closure, eliminating the per-node interpretation dispatch.
+	// The node tree is kept alongside — parses with an event hook
+	// installed (trace, profiler) run it instead, so observability
+	// works unchanged. Semantics, error text, and statistics are
+	// identical to interpreting the same program.
+	Compiled bool
 }
 
 // PGO is the hot-production report fed to Compile for profile-guided
@@ -107,13 +115,32 @@ func NaivePackrat() Options {
 // Backtracking returns the plain recursive-descent configuration.
 func Backtracking() Options { return Options{} }
 
+// CompiledEngine returns the closure-threaded compiled engine
+// configuration: the full optimized engine lowered to specialized
+// closures at Compile time, with the memo table narrowed to the
+// statically-derived backtrack-prefix set (analysis.BacktrackPrefixes)
+// instead of the interpreter's profile-guided inlining — no profile is
+// needed, which is what lets registry uploads and `modpeg serve`
+// compile cold. This is the production fast path: the paper's
+// generated-parser speed without running the go toolchain, so it is
+// available to runtime-loaded grammars too.
+func CompiledEngine() Options {
+	o := Optimized()
+	o.Compiled = true
+	return o
+}
+
 // String names the configuration for benchmark output.
 func (o Options) String() string {
+	suffix := ""
+	if o.Compiled {
+		suffix = "+compiled"
+	}
 	switch {
 	case !o.Memoize:
-		return "backtracking"
+		return "backtracking" + suffix
 	case o.MemoEverything && !o.ChunkedMemo:
-		return "naive-packrat"
+		return "naive-packrat" + suffix
 	default:
 		s := "packrat"
 		if o.ChunkedMemo {
@@ -131,7 +158,7 @@ func (o Options) String() string {
 		if o.MemoEverything {
 			s += "+memoall"
 		}
-		return s
+		return s + suffix
 	}
 }
 
@@ -145,6 +172,10 @@ type Program struct {
 	root  int
 	// memoCols is the number of memo columns (memoized productions).
 	memoCols int
+	// code is the closure-threaded lowering of prods, non-nil iff the
+	// program was compiled with Options.Compiled (compiled.go). Hookless
+	// parses run it; hooked parses interpret prods.
+	code *compiledProgram
 	// pool recycles Parser sessions across Parse calls; it is the only
 	// mutable (and internally synchronized) part of a compiled program.
 	pool sync.Pool
@@ -269,15 +300,36 @@ func Compile(g *peg.Grammar, opts Options) (*Program, error) {
 	// so that frequently probed productions share the first chunks of
 	// every position's chunk directory — the layout half of the chunk
 	// optimization.
+	// The compiled engine replaces profile-guided inlining with a static
+	// memo policy: only productions an ordered-choice retry can actually
+	// re-enter at the same position (plus the root, whose entry memo is
+	// what lets an unchanged incremental reparse return instantly) keep
+	// a column. Everything else becomes a transient closure call — the
+	// closure lowering shares one body closure per production, so this
+	// is inlining without code growth or a depth cap.
+	var keep map[string]bool
+	if opts.Compiled && opts.Memoize && !opts.MemoEverything {
+		keep = a.BacktrackPrefixes()
+	}
 	memoized := make([]string, 0, len(g.Order))
 	for _, name := range g.Order {
 		pr := g.Prods[name]
-		if inline[name] {
+		// Inlined productions drop their memo column — except recursive
+		// ones, whose call sites at the transitive-inline frontier fall
+		// back to nCall. A transient frontier would re-derive the whole
+		// cycle on every backtrack (exponential on nested input, the
+		// classic unmemoized-PEG blowup); a memoized frontier caps each
+		// position's work once, so inlining stays a constant-factor win.
+		if inline[name] && !a.Recursive[name] {
 			continue
 		}
-		if opts.Memoize && (opts.MemoEverything || !pr.Attrs.Has(peg.AttrTransient)) {
-			memoized = append(memoized, name)
+		if !opts.Memoize || (!opts.MemoEverything && pr.Attrs.Has(peg.AttrTransient)) {
+			continue
 		}
+		if keep != nil && name != g.Root && !keep[name] && !pr.Attrs.Has(peg.AttrMemo) {
+			continue
+		}
+		memoized = append(memoized, name)
 	}
 	sort.SliceStable(memoized, func(i, j int) bool {
 		return a.RefCount[memoized[i]] > a.RefCount[memoized[j]]
@@ -322,6 +374,9 @@ func Compile(g *peg.Grammar, opts Options) (*Program, error) {
 		} else {
 			info.memoCol = -1
 		}
+	}
+	if opts.Compiled {
+		p.code = compileClosures(p)
 	}
 	return p, nil
 }

@@ -373,9 +373,22 @@ func (ps *Parser) begin(src *text.Source) {
 	}
 }
 
+// enterRoot starts the root production, selecting the execution
+// engine: the closure-threaded compiled form when the program carries
+// one and no event hook is installed, the node-tree interpreter
+// otherwise (hooks need the per-production enter/exit seam only the
+// interpreter has). Both lowerings of a program are observationally
+// identical, so the choice is invisible to callers.
+func (ps *Parser) enterRoot(pos int) (int, ast.Value, bool) {
+	if code := ps.prog.code; code != nil && ps.hook == nil {
+		return code.root(ps, pos)
+	}
+	return ps.parseProd(ps.prog.root, pos)
+}
+
 func (ps *Parser) run() (val ast.Value, err error) {
 	defer ps.contain(&val, &err)
-	end, val, ok := ps.parseProd(ps.prog.root, 0)
+	end, val, ok := ps.enterRoot(0)
 	if !ok {
 		return nil, ps.syntaxError()
 	}
@@ -396,7 +409,7 @@ func (ps *Parser) run() (val ast.Value, err error) {
 
 func (ps *Parser) runPrefix() (val ast.Value, end int, err error) {
 	defer ps.contain(&val, &err)
-	end, val, ok := ps.parseProd(ps.prog.root, 0)
+	end, val, ok := ps.enterRoot(0)
 	if !ok {
 		return nil, 0, ps.syntaxError()
 	}
@@ -920,7 +933,7 @@ func (ps *Parser) eval(n node, pos int) (int, ast.Value, bool) {
 				if !ok {
 					continue
 				}
-				acc = ps.foldLeft(acc, s, base, pos, nend)
+				acc = ps.foldLeft(acc, s.ctor, base, pos, nend)
 				ps.scratch = ps.scratch[:base]
 				end = nend
 				continue grow
@@ -1024,13 +1037,13 @@ func (ps *Parser) seqValue(n *nSeq, base, start, end int) ast.Value {
 // foldLeft folds one left-recursion suffix match (its values at
 // ps.scratch[base:]) into the accumulated value. The caller truncates the
 // stack.
-func (ps *Parser) foldLeft(acc ast.Value, s *nSeq, base, start, end int) ast.Value {
+func (ps *Parser) foldLeft(acc ast.Value, ctor string, base, start, end int) ast.Value {
 	vals := ps.scratch[base:]
-	if s.ctor != "" {
+	if ctor != "" {
 		children := ps.values.carve(len(vals) + 1)
 		children[0] = acc
 		copy(children[1:], vals)
-		return ps.values.newNode(s.ctor, children,
+		return ps.values.newNode(ctor, children,
 			text.NewSpan(text.Pos(start), text.Pos(end)))
 	}
 	if len(vals) == 0 {

@@ -103,6 +103,32 @@ type EngineOptions = vm.Options
 // transient skip, first-byte dispatch.
 func EngineOptimized() EngineOptions { return vm.Optimized() }
 
+// EngineCompiled is the optimized engine lowered to specialized Go
+// closures at Compile time: terminals, sequences, choices, and memo
+// probes become direct code instead of interpreted instructions. No Go
+// toolchain is needed at runtime (that offline path is `modpeg gen`),
+// so hot-reloaded registry grammars can use it too. Sessions, limits,
+// incremental reparse, and statistics behave identically to
+// EngineOptimized; only the execution strategy differs.
+func EngineCompiled() EngineOptions { return vm.CompiledEngine() }
+
+// EngineByName maps a user-facing engine name ("optimized", "compiled",
+// "naive-packrat", "backtracking") to its configuration — the lookup
+// behind `modpeg parse -engine` and the serve/registry engine fields.
+func EngineByName(name string) (EngineOptions, error) {
+	switch name {
+	case "", "optimized":
+		return EngineOptimized(), nil
+	case "compiled":
+		return EngineCompiled(), nil
+	case "naive-packrat":
+		return EngineNaivePackrat(), nil
+	case "backtracking":
+		return EngineBacktracking(), nil
+	}
+	return EngineOptions{}, fmt.Errorf("unknown engine %q (want optimized, compiled, naive-packrat, or backtracking)", name)
+}
+
 // EngineNaivePackrat memoizes every production in a hash map.
 func EngineNaivePackrat() EngineOptions { return vm.NaivePackrat() }
 

@@ -3,18 +3,25 @@
 # Table 5 session-residency, Table 6 observability, Table 7
 # resource-governance, Table 8 incremental-reparse, and Table 9
 # telemetry-overhead benchmarks and record the results as JSON
-# (BENCH_6.json by default; pass a path to override). Each record maps
+# (BENCH_9.json by default; pass a path to override). Each record maps
 # a benchmark name to ns/op, B/op, and allocs/op. The Table 3 rows pit
 # backtracking, naive packrat, the optimized byte-level engine, and the
 # profile-guided-inlining engine against each other on the same 40 KB
 # java corpus; the derived java-40KB-ns-per-byte row (optimized ns/op
 # divided by the 40960-byte input) is the hot-path ratchet that
-# scripts/bench_check.sh gates. The Table 6 rows measure profiler
+# scripts/bench_check.sh gates. The Table3Compiled rows time the
+# optimized interpreter and the closure-compiled engine inside the same
+# benchmark iteration and report their ratio as a "speedup" metric; the
+# derived compiled-speedup-x1000 (valued 64 KB java, Amdahl-bound by
+# the AST construction both engines share) and
+# compiled-void-speedup-x1000 (void grammar, engine machinery only)
+# rows are ratcheted by bench_check.sh. The Table 6 rows measure profiler
 # overhead: the "disabled" row must stay within 2% of BENCH_1.json's
 # java/pooled row (same workload, instrumentation seam added). The
 # Table 7 rows compare ungoverned parsing against zero-limits and
-# all-budgets governed parsing; the VoidSteadyState row is the
-# allocation canary (allocs_per_op must be exactly 0). The Table 8 rows
+# all-budgets governed parsing; the VoidSteadyState rows (one per
+# engine) are the allocation canary (allocs_per_op must be exactly 0 on
+# every one). The Table 8 rows
 # pair a from-scratch reparse of an edited input with the incremental
 # Document.Apply of the same edit; the derived incremental-speedup row
 # (64 KB java.core, one-line edit) must stay at or above 5000 (= 5x,
@@ -24,10 +31,10 @@
 # Chrome trace-export hook.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_9.json}"
 
 {
-	go test -run '^$' -bench 'BenchmarkTable5|BenchmarkTable6|BenchmarkTable7|BenchmarkTable8|BenchmarkTable9' -benchmem -benchtime 20x .
+	go test -run '^$' -bench 'BenchmarkTable3Compiled|BenchmarkTable5|BenchmarkTable6|BenchmarkTable7|BenchmarkTable8|BenchmarkTable9' -benchmem -benchtime 20x .
 	go test -run '^$' -bench 'BenchmarkTable3Engines/size=40KB' -benchmem -benchtime 20x .
 } |
 	tee /dev/stderr |
@@ -37,11 +44,16 @@ out="${1:-BENCH_6.json}"
 			# Canonical names: drop the -GOMAXPROCS suffix Go appends on
 			# multi-core runners so reports diff cleanly across machines.
 			sub(/-[0-9]+$/, "", name)
-			ns = ""; bop = ""; aop = ""
+			ns = ""; bop = ""; aop = ""; sp = ""
 			for (i = 2; i <= NF; i++) {
 				if ($(i) == "ns/op") ns = $(i - 1)
 				if ($(i) == "B/op") bop = $(i - 1)
 				if ($(i) == "allocs/op") aop = $(i - 1)
+				if ($(i) == "speedup") sp = $(i - 1)
+			}
+			if (sp != "") {
+				if (name ~ /Table3Compiled\/java-64KB/) javaspeed = sp
+				if (name ~ /Table3Compiled\/void-64KB/) voidspeed = sp
 			}
 			if (ns != "") {
 				rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bop, aop)
@@ -75,6 +87,15 @@ out="${1:-BENCH_6.json}"
 				rows[++n] = sprintf("  {\"name\": \"derived/telemetry-overhead-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (telmetrics / telbare) * 1000)
 			if (telbare != "" && teltraced != "")
 				rows[++n] = sprintf("  {\"name\": \"derived/trace-export-overhead-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", (teltraced / telbare) * 1000)
+			# Compiled-engine speedups from the paired Table3Compiled rows
+			# (ratio already computed inside the benchmark, so scheduler
+			# noise cancels). The valued java row is end-to-end and
+			# Amdahl-bound by shared AST construction; the void row is the
+			# engine-only ratio that carries the >= 2x acceptance gate.
+			if (javaspeed != "")
+				rows[++n] = sprintf("  {\"name\": \"derived/compiled-speedup-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", javaspeed * 1000)
+			if (voidspeed != "")
+				rows[++n] = sprintf("  {\"name\": \"derived/compiled-void-speedup-x1000\", \"ns_per_op\": %.0f, \"bytes_per_op\": 0, \"allocs_per_op\": 0}", voidspeed * 1000)
 			# Hot-path ratchet: optimized-engine ns per input byte on the
 			# 40 KB (40960-byte) java corpus. The seed reference row above
 			# works out to 723 ns/byte; bench_check.sh gates this row.

@@ -1,24 +1,37 @@
 #!/bin/sh
 # bench_check.sh — regression gate over a bench.sh JSON report
-# (BENCH_6.json by default; pass a path to override). Three checks:
+# (BENCH_9.json by default; pass a path to override). Four checks:
 #
 #   1. Every derived row bench.sh is supposed to compute must be
 #      present. A missing row means the producing benchmark silently
 #      vanished (renamed, filtered out, crashed) — that must be a loud
 #      failure, not a gate that trivially passes on an empty report.
-#   2. The governed zero-allocation guarantee: the Table 5 void-grammar
-#      steady state must report exactly 0 allocs/op, or the slab-arena /
-#      session-reuse / governance-arming discipline has regressed.
+#   2. The governed zero-allocation guarantee: every Table 5
+#      void-grammar steady-state row (one per engine: the optimized
+#      interpreter and the closure-compiled engine) must report exactly
+#      0 allocs/op, or the slab-arena / session-reuse /
+#      governance-arming discipline has regressed on that engine.
 #   3. The byte-level hot-path ratchet: derived/java-40KB-ns-per-byte
 #      (optimized engine, 40 KB java corpus) must stay at or below
 #      450 ns/byte. The seed engine measured 723 ns/byte; the scan-
 #      fusion + choice-table + PGO engine measures ~300 on an idle
 #      machine, so 450 locks in the win while tolerating noisy CI.
+#   4. The compiled-engine speedup ratchets (minimums, scaled x1000):
+#      derived/compiled-void-speedup-x1000 >= 2000 — the closure tree
+#      must stay at least 2x faster than the interpreter on pure parser
+#      machinery (measured ~3000); and derived/compiled-speedup-x1000
+#      >= 1250 on the valued 64 KB java corpus, whose end-to-end ratio
+#      is Amdahl-bound by the AST construction both engines share
+#      (measured ~1400-1650 depending on machine load). Both ratios
+#      come from paired same-iteration timing, so they are stable where
+#      absolute ns/op is not.
 #
 # Plain grep/sed so the gate runs anywhere a POSIX shell does.
 set -eu
-report="${1:-BENCH_6.json}"
+report="${1:-BENCH_9.json}"
 max_ns_per_byte=450
+min_compiled_speedup=1250
+min_compiled_void_speedup=2000
 
 if [ ! -f "$report" ]; then
 	echo "bench_check: report $report not found (run scripts/bench.sh first)" >&2
@@ -39,6 +52,8 @@ for name in \
 	derived/incremental-speedup-x1000 \
 	derived/telemetry-overhead-x1000 \
 	derived/trace-export-overhead-x1000 \
+	derived/compiled-speedup-x1000 \
+	derived/compiled-void-speedup-x1000 \
 	derived/java-40KB-ns-per-byte; do
 	if [ -z "$(row_ns "$name")" ]; then
 		echo "bench_check: FAIL: expected derived row \"$name\" is missing from $report" >&2
@@ -47,21 +62,25 @@ for name in \
 	fi
 done
 
-# 2. Zero-allocation canary.
-row=$(grep 'Table5VoidSteadyState' "$report" || true)
-if [ -z "$row" ]; then
+# 2. Zero-allocation canary — every engine's row must be exactly 0.
+rows=$(grep 'Table5VoidSteadyState' "$report" || true)
+if [ -z "$rows" ]; then
 	echo "bench_check: FAIL: no Table5VoidSteadyState row in $report" >&2
 	fail=1
 else
-	allocs=$(printf '%s\n' "$row" | sed -n 's/.*"allocs_per_op": *\([0-9][0-9]*\).*/\1/p')
-	if [ -z "$allocs" ]; then
-		echo "bench_check: FAIL: could not read allocs_per_op from row: $row" >&2
-		fail=1
-	elif [ "$allocs" -ne 0 ]; then
-		echo "bench_check: FAIL: void-grammar steady state allocates ($allocs allocs/op, want 0)" >&2
-		echo "bench_check:       row: $row" >&2
-		fail=1
-	fi
+	while IFS= read -r row; do
+		allocs=$(printf '%s\n' "$row" | sed -n 's/.*"allocs_per_op": *\([0-9][0-9]*\).*/\1/p')
+		if [ -z "$allocs" ]; then
+			echo "bench_check: FAIL: could not read allocs_per_op from row: $row" >&2
+			fail=1
+		elif [ "$allocs" -ne 0 ]; then
+			echo "bench_check: FAIL: void-grammar steady state allocates ($allocs allocs/op, want 0)" >&2
+			echo "bench_check:       row: $row" >&2
+			fail=1
+		fi
+	done <<EOF
+$rows
+EOF
 fi
 
 # 3. Hot-path ratchet.
@@ -71,7 +90,19 @@ if [ -n "$nspb" ] && [ "$nspb" -gt "$max_ns_per_byte" ]; then
 	fail=1
 fi
 
+# 4. Compiled-engine speedup ratchets (these are floors, not ceilings).
+cspeed=$(row_ns derived/compiled-speedup-x1000)
+if [ -n "$cspeed" ] && [ "$cspeed" -lt "$min_compiled_speedup" ]; then
+	echo "bench_check: FAIL: compiled engine at ${cspeed}/1000 x over the interpreter on valued 64KB java, floor is ${min_compiled_speedup}" >&2
+	fail=1
+fi
+vspeed=$(row_ns derived/compiled-void-speedup-x1000)
+if [ -n "$vspeed" ] && [ "$vspeed" -lt "$min_compiled_void_speedup" ]; then
+	echo "bench_check: FAIL: compiled engine at ${vspeed}/1000 x over the interpreter on the void grammar, floor is ${min_compiled_void_speedup} (= the 2x acceptance gate)" >&2
+	fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
 	exit 1
 fi
-echo "bench_check: OK (derived rows present, void canary 0 allocs/op, java hot path ${nspb} ns/byte <= ${max_ns_per_byte})"
+echo "bench_check: OK (derived rows present, void canary 0 allocs/op on every engine, java hot path ${nspb} ns/byte <= ${max_ns_per_byte}, compiled speedups ${cspeed}/${vspeed} x1000 >= ${min_compiled_speedup}/${min_compiled_void_speedup})"

@@ -1,23 +1,24 @@
 #!/bin/sh
 # coverage.sh — measure statement coverage of the engine core and gate
-# it. The floor applies to the combined profile over internal/vm and
-# internal/core (the packages whose regressions are silent without it:
-# the memo table, arenas, incremental reuse pass, limits, and module
-# composition), exercised by the full test suite. Writes the profile to
+# it. The floor applies to the combined profile over internal/vm,
+# internal/core, and internal/codegen (the packages whose regressions
+# are silent without it: the memo table, arenas, incremental reuse pass,
+# limits, module composition, and the offline code generator's emit
+# paths), exercised by the full test suite. Writes the profile to
 # coverage.out (or the path in $1) so CI can upload it as an artifact.
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-coverage.out}"
 floor="${COVERAGE_FLOOR:-75}"
 
-go test -count=1 -coverprofile="$out" -coverpkg=modpeg/internal/vm,modpeg/internal/core ./... >/dev/null
+go test -count=1 -coverprofile="$out" -coverpkg=modpeg/internal/vm,modpeg/internal/core,modpeg/internal/codegen ./... >/dev/null
 
 total=$(go tool cover -func="$out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 if [ -z "$total" ]; then
 	echo "coverage: could not read total from $out" >&2
 	exit 1
 fi
-echo "coverage: internal/vm + internal/core total = ${total}% (floor ${floor}%)"
+echo "coverage: internal/vm + internal/core + internal/codegen total = ${total}% (floor ${floor}%)"
 if [ "$(printf '%s %s\n' "$total" "$floor" | awk '{ print ($1 < $2) ? 1 : 0 }')" -eq 1 ]; then
 	echo "coverage: ${total}% is below the ${floor}% floor" >&2
 	exit 1
