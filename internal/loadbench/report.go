@@ -7,7 +7,15 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"modpeg/internal/telemetry"
 )
+
+// ReportSchemaVersion identifies the LOADTEST.json layout. Version 1
+// reports predate the field (a report without schema_version is v1);
+// version 2 added schema_version and worst_requests. See
+// docs/LOADTEST.md for the compatibility rules.
+const ReportSchemaVersion = 2
 
 // Phase is the measured result of one load phase.
 type Phase struct {
@@ -54,6 +62,9 @@ type ServerDelta struct {
 // Report is the full loadtest result; its JSON form is the
 // LOADTEST.json artifact.
 type Report struct {
+	// SchemaVersion is ReportSchemaVersion; consumers should treat an
+	// absent field as version 1.
+	SchemaVersion int `json:"schema_version"`
 	// Target is the serve endpoint the run drove.
 	Target string `json:"target"`
 	// Mode is the configured run mode.
@@ -79,6 +90,11 @@ type Report struct {
 	// phase scrapes (0 when scraping was off).
 	MaxGoroutines int64 `json:"max_goroutines,omitempty"`
 	MaxHeapBytes  int64 `json:"max_heap_bytes,omitempty"`
+	// WorstRequests are the slowest entries in the server's slow-parse
+	// flight recorder after the last phase, worst first — the named
+	// tail of the latency distribution the quantile rows summarize.
+	// Empty when scraping is off or the server recorded nothing.
+	WorstRequests []telemetry.FlightRecord `json:"worst_requests,omitempty"`
 }
 
 // finish derives the run verdict and server-side ceilings.
@@ -191,6 +207,22 @@ func (r *Report) WriteText(w io.Writer) error {
 		fmt.Fprintf(&b, " %s=%d", k, total[k])
 	}
 	b.WriteString("\n")
+
+	if len(r.WorstRequests) > 0 {
+		fmt.Fprintf(&b, "\nworst requests (server flight recorder, top %d by duration):\n", len(r.WorstRequests))
+		wr := [][]string{{"duration", "grammar", "outcome", "trigger", "bytes", "trace"}}
+		for _, rec := range r.WorstRequests {
+			trace := rec.TraceID
+			if len(trace) > 16 {
+				trace = trace[:16] + "…"
+			}
+			wr = append(wr, []string{
+				fmtDur(rec.DurationNS), rec.Grammar, rec.Outcome, rec.Trigger,
+				fmt.Sprintf("%d", rec.InputBytes), trace,
+			})
+		}
+		writeAligned(&b, wr)
+	}
 
 	if r.MaxGoroutines > 0 || r.MaxHeapBytes > 0 {
 		fmt.Fprintf(&b, "server ceilings: goroutines=%d heap=%s\n",

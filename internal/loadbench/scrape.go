@@ -3,11 +3,15 @@ package loadbench
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"modpeg/internal/telemetry"
 )
 
 // ServerSample is one scrape of the serve process's runtime telemetry:
@@ -81,4 +85,38 @@ func Scrape(ctx context.Context, client *http.Client, baseURL string) (*ServerSa
 		return nil, err
 	}
 	return s, nil
+}
+
+// worstRequestsTopK bounds the report's worst-requests section.
+const worstRequestsTopK = 10
+
+// ScrapeWorstRequests fetches the server's slow-parse flight recorder
+// (GET /debug/flightrecorder) and returns the top n records by
+// duration, worst first. A server without the endpoint (or with an
+// empty ring) yields nil — the section simply stays out of the report.
+func ScrapeWorstRequests(ctx context.Context, client *http.Client, baseURL string, n int) []telemetry.FlightRecord {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/debug/flightrecorder", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var dump telemetry.FlightDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return nil
+	}
+	recs := dump.Records
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].DurationNS > recs[j].DurationNS })
+	if len(recs) > n {
+		recs = recs[:n]
+	}
+	return recs
 }

@@ -32,6 +32,11 @@ import (
 
 type tenantMeta struct {
 	Limits modpeg.Limits `json:"limits"`
+	// SampleEvery and SlowParseMS persist the tenant's tail-latency
+	// observability settings (sampled-profiling rate and flight-recorder
+	// threshold) so a restart restores them alongside the budgets.
+	SampleEvery int `json:"sample_every,omitempty"`
+	SlowParseMS int `json:"slow_parse_ms,omitempty"`
 }
 
 type grammarMeta struct {
@@ -54,7 +59,11 @@ func (r *Registry) persistTenant(t *tenant) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return
 	}
-	data, err := json.MarshalIndent(tenantMeta{Limits: t.limits}, "", "  ")
+	data, err := json.MarshalIndent(tenantMeta{
+		Limits:      t.limits,
+		SampleEvery: t.sampleEvery,
+		SlowParseMS: int(t.slowParse / time.Millisecond),
+	}, "", "  ")
 	if err != nil {
 		return
 	}
@@ -176,6 +185,8 @@ func (r *Registry) loadTenant(tenantName string) error {
 			return fmt.Errorf("registry: %s/tenant.json: %w", tenantName, err)
 		}
 		t.limits = meta.Limits
+		t.sampleEvery = meta.SampleEvery
+		t.slowParse = time.Duration(meta.SlowParseMS) * time.Millisecond
 	}
 
 	entries, err := os.ReadDir(tdir)
@@ -252,6 +263,7 @@ func (r *Registry) loadTenant(tenantName string) error {
 			modules[l.g.name] = src
 			parser, err := r.compile(l.g, v, modules)
 			if err == nil {
+				parser.SetSampling(t.sampleEvery)
 				err = r.smoke(parser, l.g.probes, t.limits)
 			}
 			if err != nil {

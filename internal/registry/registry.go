@@ -179,6 +179,18 @@ type Upload struct {
 	// one. The choice is per version — a later upload may switch it —
 	// and survives restarts.
 	Engine string `json:"engine,omitempty"`
+	// SampleEvery, when non-nil, sets the tenant's always-on profiling
+	// rate: 1 in SampleEvery parses against any of the tenant's grammar
+	// versions runs under the per-production profiler, feeding the
+	// rolling sampled profiles (/debug/profiles and the hot-production
+	// Prometheus counters). 0 disables sampling. Nil keeps the current
+	// rate. Unlike Limits, the rate may move in either direction.
+	SampleEvery *int `json:"sample_every,omitempty"`
+	// SlowParseMS, when non-nil, sets the tenant's slow-parse
+	// flight-recorder threshold in milliseconds: parses slower than
+	// this are captured in the flight recorder. 0 restores the server
+	// default. Nil keeps the current threshold.
+	SlowParseMS *int `json:"slow_parse_ms,omitempty"`
 }
 
 // state is a version's lifecycle phase, guarded by its grammar's mutex
@@ -218,9 +230,16 @@ type grammar struct {
 
 // tenant is one namespace of grammars with its parse budgets.
 type tenant struct {
-	name     string
-	limits   modpeg.Limits // guarded by Registry.mu
-	grammars map[string]*grammar
+	name   string
+	limits modpeg.Limits // guarded by Registry.mu
+	// sampleEvery and slowParse are the tenant's tail-latency
+	// observability settings, guarded by Registry.mu like limits:
+	// 1-in-N sampled profiling across the tenant's grammar versions
+	// (0 = off) and the slow-parse flight-recorder threshold
+	// (0 = server default).
+	sampleEvery int
+	slowParse   time.Duration
+	grammars    map[string]*grammar
 }
 
 // Registry is the multi-tenant grammar store. All methods are safe for
@@ -315,6 +334,12 @@ func (r *Registry) Upload(ctx context.Context, tenantName, name string, up Uploa
 	default:
 		return VersionInfo{}, errf(KindBadRequest, "unknown engine %q (want optimized or compiled)", up.Engine)
 	}
+	if up.SampleEvery != nil && *up.SampleEvery < 0 {
+		return VersionInfo{}, errf(KindBadRequest, "sample_every must be >= 0 (0 disables sampling)")
+	}
+	if up.SlowParseMS != nil && *up.SlowParseMS < 0 {
+		return VersionInfo{}, errf(KindBadRequest, "slow_parse_ms must be >= 0 (0 restores the server default)")
+	}
 
 	// The module must parse and must declare the name it is uploaded
 	// under, before a version number is consumed.
@@ -330,6 +355,7 @@ func (r *Registry) Upload(ctx context.Context, tenantName, name string, up Uploa
 	if err2 != nil {
 		return VersionInfo{}, err2
 	}
+	sampleEvery := r.applyObservability(tenantName, up.SampleEvery, up.SlowParseMS)
 
 	// Reserve the version and snapshot the tenant's other grammars for
 	// composition.
@@ -367,7 +393,7 @@ func (r *Registry) Upload(ctx context.Context, tenantName, name string, up Uploa
 	// goroutine so a canceled waiter does not abort the swap.
 	done := make(chan error, 1)
 	go func() {
-		done <- r.build(g, v, modules, probes, lim, up.NoActivate)
+		done <- r.build(g, v, modules, probes, lim, sampleEvery, up.NoActivate)
 	}()
 	select {
 	case buildErr := <-done:
@@ -410,6 +436,53 @@ func (r *Registry) slot(tenantName, name string, tighten *modpeg.Limits) (*gramm
 	return g, t.limits, nil
 }
 
+// applyObservability records a tenant's sampled-profiling rate and
+// slow-parse threshold (a nil pointer leaves that setting unchanged)
+// and pushes the rate onto every live compiled version. The registry
+// lock is released before the per-grammar locks are taken: build()
+// acquires g.mu and persists under it, so holding r.mu across g.mu
+// would invert the lock order. Returns the tenant's effective sample
+// rate, which the caller applies to the version it is about to build.
+func (r *Registry) applyObservability(tenantName string, sampleEvery, slowParseMS *int) int {
+	r.mu.Lock()
+	t := r.tenants[tenantName]
+	if t == nil {
+		r.mu.Unlock()
+		return 0
+	}
+	changed := false
+	if sampleEvery != nil && t.sampleEvery != *sampleEvery {
+		t.sampleEvery = *sampleEvery
+		changed = true
+	}
+	if slowParseMS != nil {
+		if d := time.Duration(*slowParseMS) * time.Millisecond; t.slowParse != d {
+			t.slowParse = d
+			changed = true
+		}
+	}
+	rate := t.sampleEvery
+	var grammars []*grammar
+	if changed {
+		r.persistTenant(t)
+		grammars = make([]*grammar, 0, len(t.grammars))
+		for _, g := range t.grammars {
+			grammars = append(grammars, g)
+		}
+	}
+	r.mu.Unlock()
+	for _, g := range grammars {
+		g.mu.Lock()
+		for _, v := range g.versions {
+			if v.parser != nil {
+				v.parser.SetSampling(rate)
+			}
+		}
+		g.mu.Unlock()
+	}
+	return rate
+}
+
 // snapshotSources copies the active source of every grammar in the
 // tenant — the module set an uploaded extension composes against.
 func (r *Registry) snapshotSources(tenantName string) map[string]string {
@@ -438,9 +511,10 @@ func Label(tenantName, name string, number int) string {
 // records it and optionally activates it. It runs outside every
 // registry lock, so in-flight parses and other uploads proceed while a
 // build is running.
-func (r *Registry) build(g *grammar, v *version, modules map[string]string, probes []Probe, lim modpeg.Limits, noActivate bool) error {
+func (r *Registry) build(g *grammar, v *version, modules map[string]string, probes []Probe, lim modpeg.Limits, sampleEvery int, noActivate bool) error {
 	parser, err := r.compile(g, v, modules)
 	if err == nil {
+		parser.SetSampling(sampleEvery)
 		err = r.smoke(parser, probes, lim)
 	}
 
@@ -540,7 +614,10 @@ type Lease struct {
 	Parser *modpeg.Parser
 	// Limits are the tenant's parse budgets at acquire time.
 	Limits modpeg.Limits
-	v      *version
+	// SlowParse is the tenant's slow-parse flight-recorder threshold
+	// at acquire time (0 = use the server default).
+	SlowParse time.Duration
+	v         *version
 }
 
 // Release ends the lease. It must be called exactly once.
@@ -559,9 +636,11 @@ func (r *Registry) Acquire(tenantName, name string, versionNumber int) (*Lease, 
 	t := r.tenants[tenantName]
 	var g *grammar
 	var lim modpeg.Limits
+	var slow time.Duration
 	if t != nil {
 		g = t.grammars[name]
 		lim = t.limits
+		slow = t.slowParse
 	}
 	r.mu.RUnlock()
 	if g == nil {
@@ -595,13 +674,14 @@ func (r *Registry) Acquire(tenantName, name string, versionNumber int) (*Lease, 
 	}
 	v.inflight.Add(1)
 	return &Lease{
-		Tenant:  tenantName,
-		Grammar: name,
-		Version: v.number,
-		Label:   Label(tenantName, name, v.number),
-		Parser:  v.parser,
-		Limits:  lim,
-		v:       v,
+		Tenant:    tenantName,
+		Grammar:   name,
+		Version:   v.number,
+		Label:     Label(tenantName, name, v.number),
+		Parser:    v.parser,
+		Limits:    lim,
+		SlowParse: slow,
+		v:         v,
 	}, nil
 }
 
@@ -703,9 +783,15 @@ type GrammarInfo struct {
 
 // TenantInfo is the public snapshot of one tenant namespace.
 type TenantInfo struct {
-	Name     string        `json:"name"`
-	Limits   modpeg.Limits `json:"limits"`
-	Grammars []GrammarInfo `json:"grammars"`
+	Name   string        `json:"name"`
+	Limits modpeg.Limits `json:"limits"`
+	// SampleEvery is the tenant's 1-in-N sampled-profiling rate
+	// (0 = sampling off).
+	SampleEvery int `json:"sample_every,omitempty"`
+	// SlowParseMS is the tenant's slow-parse flight-recorder threshold
+	// in milliseconds (0 = server default).
+	SlowParseMS int           `json:"slow_parse_ms,omitempty"`
+	Grammars    []GrammarInfo `json:"grammars"`
 }
 
 // Listing is the full registry snapshot GET /grammars serves.
@@ -752,9 +838,14 @@ func (r *Registry) List() Listing {
 		tenants = append(tenants, t)
 	}
 	grammarsOf := make(map[string][]*grammar, len(tenants))
-	limitsOf := make(map[string]modpeg.Limits, len(tenants))
+	tenantInfo := make(map[string]TenantInfo, len(tenants))
 	for _, t := range tenants {
-		limitsOf[t.name] = t.limits
+		tenantInfo[t.name] = TenantInfo{
+			Name:        t.name,
+			Limits:      t.limits,
+			SampleEvery: t.sampleEvery,
+			SlowParseMS: int(t.slowParse / time.Millisecond),
+		}
 		for _, g := range t.grammars {
 			grammarsOf[t.name] = append(grammarsOf[t.name], g)
 		}
@@ -764,7 +855,7 @@ func (r *Registry) List() Listing {
 	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
 	var out Listing
 	for _, t := range tenants {
-		ti := TenantInfo{Name: t.name, Limits: limitsOf[t.name]}
+		ti := tenantInfo[t.name]
 		gs := grammarsOf[t.name]
 		sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
 		for _, g := range gs {

@@ -724,3 +724,80 @@ func TestErrorFormatting(t *testing.T) {
 		t.Errorf("error = %q unwrap ok=%v", e.Error(), errors.Is(e, e.Err))
 	}
 }
+
+// TestObservabilitySettings covers the per-tenant tail-forensics knobs:
+// the sampling rate reaches every live parser the tenant owns (and can
+// move in both directions, unlike Limits), the slow-parse threshold
+// rides the lease, bad values are rejected, and both survive a
+// registry reload.
+func TestObservabilitySettings(t *testing.T) {
+	intp := func(v int) *int { return &v }
+	dir := t.TempDir()
+	r := testRegistry(t, Config{Dir: dir})
+	mustUpload(t, r, "acme", "t.base", Upload{Source: baseV1})
+	mustUpload(t, r, "acme", "t.ext", Upload{Source: extAdd, SampleEvery: intp(100), SlowParseMS: intp(40)})
+
+	checkRate := func(name string, want int) {
+		t.Helper()
+		lease, err := r.Acquire("acme", name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer lease.Release()
+		if got := lease.Parser.Sampling(); got != want {
+			t.Errorf("%s sampling rate = %d, want %d", name, got, want)
+		}
+		if want := 40 * time.Millisecond; lease.SlowParse != want {
+			t.Errorf("%s lease.SlowParse = %v, want %v", name, lease.SlowParse, want)
+		}
+	}
+	// The rate is tenant-wide: it reaches the grammar uploaded before
+	// the setting existed, too.
+	checkRate("t.base", 100)
+	checkRate("t.ext", 100)
+
+	// Unlike Limits, the rate may loosen as well as tighten.
+	mustUpload(t, r, "acme", "t.base", Upload{Source: baseV2, SampleEvery: intp(500)})
+	lease, err := r.Acquire("acme", "t.ext", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lease.Parser.Sampling(); got != 500 {
+		t.Errorf("loosened sampling rate = %d, want 500", got)
+	}
+	lease.Release()
+
+	// Negative knobs are rejected up front.
+	for _, up := range []Upload{
+		{Source: baseV1, SampleEvery: intp(-1)},
+		{Source: baseV1, SlowParseMS: intp(-5)},
+	} {
+		_, err := r.Upload(context.Background(), "acme", "t.base", up)
+		wantKind(t, err, KindBadRequest)
+	}
+
+	// The listing surfaces the effective settings.
+	l := r.List()
+	if len(l.Tenants) != 1 || l.Tenants[0].SampleEvery != 500 || l.Tenants[0].SlowParseMS != 40 {
+		t.Fatalf("listing observability = %+v", l.Tenants)
+	}
+
+	// Reload: both knobs are persisted tenant metadata, and the rate is
+	// re-applied to the recompiled parsers.
+	r2 := testRegistry(t, Config{Dir: dir})
+	lease, err = r2.Acquire("acme", "t.base", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	if got := lease.Parser.Sampling(); got != 500 {
+		t.Errorf("reloaded sampling rate = %d, want 500", got)
+	}
+	if want := 40 * time.Millisecond; lease.SlowParse != want {
+		t.Errorf("reloaded lease.SlowParse = %v, want %v", lease.SlowParse, want)
+	}
+	l = r2.List()
+	if len(l.Tenants) != 1 || l.Tenants[0].SampleEvery != 500 || l.Tenants[0].SlowParseMS != 40 {
+		t.Fatalf("reloaded listing observability = %+v", l.Tenants)
+	}
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"time"
+
+	"modpeg"
+	"modpeg/internal/telemetry"
+	"modpeg/internal/vm"
+)
+
+// This file is the serve layer's tail-latency forensics surface: W3C
+// trace-context propagation (traceparent in, traceparent out, trace ID
+// threaded through every parse), the readiness gate in front of the
+// debug endpoints, and the glue that turns a finished parse into a
+// flight-recorder entry. The design rule throughout is the same as the
+// engine's: a request that carries no trace and finishes fast pays
+// nothing beyond one header lookup.
+
+// ctxKey keys the values this package stashes on request contexts.
+type ctxKey int
+
+const traceIDKey ctxKey = iota
+
+// isHex reports whether s is entirely lowercase-hex, as the W3C
+// trace-context grammar requires (uppercase headers are malformed and
+// get a fresh trace minted instead).
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// isZero reports whether s is all '0' — the trace-context spec forbids
+// all-zero trace and parent IDs.
+func isZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseTraceparent extracts the trace ID from a W3C traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"). ok is
+// false for malformed headers, unknown versions, and the all-zero IDs
+// the spec forbids — the caller mints a fresh trace in that case.
+func parseTraceparent(h string) (traceID string, ok bool) {
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	trace, parent, flags := h[3:35], h[36:52], h[53:55]
+	if !isHex(trace) || !isHex(parent) || !isHex(flags) || isZero(trace) || isZero(parent) {
+		return "", false
+	}
+	return trace, true
+}
+
+// newTraceID returns a fresh random 32-hex-char W3C trace ID.
+func newTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withTraceContext accepts the client's traceparent header — or mints
+// a fresh trace when the header is absent or malformed — regenerates
+// the parent ID so this service shows up as its own span, echoes the
+// header on the response, and stashes the trace ID on the request
+// context. Downstream the trace ID joins three signals to the
+// distributed trace: the latency-histogram exemplars, the flight
+// recorder, and the Chrome-trace exporter's metadata record.
+func withTraceContext(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traceID, ok := parseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			traceID = newTraceID()
+		}
+		// newRequestID is 8 random bytes hex-encoded — exactly the
+		// 16-hex-char parent ID the traceparent grammar wants.
+		w.Header().Set("traceparent", "00-"+traceID+"-"+newRequestID()+"-01")
+		ctx := context.WithValue(r.Context(), traceIDKey, traceID)
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// traceIDFrom returns the trace ID withTraceContext stashed on the
+// context ("" outside the middleware, e.g. in direct handler tests).
+func traceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey).(string)
+	return id
+}
+
+// gateDebug wraps a debug handler behind the readiness gate: once
+// /readyz flips to draining, the debug surface (pprof, sampled
+// profiles, flight recorder) answers 503 as well. A draining instance
+// is seconds from exit — letting a long CPU profile or a heavyweight
+// heap dump start there only delays the drain it already promised the
+// balancer.
+func (s *Server) gateDebug(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleProfiles serves GET /debug/profiles: the rolling sampled
+// per-production profiles, one entry per grammar label, hottest
+// productions first.
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	data, err := vm.SampledProfilesJSON()
+	if err != nil {
+		http.Error(w, "profile encoding failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// handleFlightRecorder serves GET /debug/flightrecorder: the ring of
+// slow, limit-breaching, and failed parses, newest first.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	data, err := s.recorder.JSON()
+	if err != nil {
+		http.Error(w, "flight-recorder encoding failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// flightTrigger decides whether a finished parse deserves a flight
+// record and why: "limit" for any budget breach (slow by definition of
+// the budget, whatever the wall time), "error" for engine failures,
+// "slow" for anything — success or syntax error — that crossed the
+// latency threshold. "" means the parse was healthy: don't record.
+// Fast syntax errors are deliberately not recorded; they are a client
+// problem, not a tail-latency one, and would flood the ring.
+func flightTrigger(elapsed, threshold time.Duration, err error) string {
+	var le *modpeg.LimitError
+	if errors.As(err, &le) {
+		return "limit"
+	}
+	var pe *modpeg.ParseError
+	if err != nil && !errors.As(err, &pe) {
+		return "error"
+	}
+	if elapsed >= threshold {
+		return "slow"
+	}
+	return ""
+}
+
+// flightOutcome classifies how the parse ended for the record:
+// "ok", "syntax", "limit:<kind>", or "engine".
+func flightOutcome(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	var le *modpeg.LimitError
+	if errors.As(err, &le) {
+		return "limit:" + le.Kind.String()
+	}
+	var pe *modpeg.ParseError
+	if errors.As(err, &pe) {
+		return "syntax"
+	}
+	return "engine"
+}
+
+// flightFailPos is the farthest input position the parse reached: the
+// syntax error's position when it failed to match, the stats
+// high-water mark otherwise.
+func flightFailPos(err error, st modpeg.ParseStats) int {
+	var pe *modpeg.ParseError
+	if errors.As(err, &pe) {
+		return int(pe.Pos)
+	}
+	return st.MaxPos
+}
+
+// flightTopK bounds the per-record profile payload.
+const flightTopK = 10
+
+// flightTopProductions picks the "why was it slow" rows for a record:
+// the request's own profiler when the client asked for one (exact for
+// this parse), else the grammar's rolling sampled profile (statistical,
+// and only present when the tenant's sampler has caught parses).
+func flightTopProductions(profiler *modpeg.Profiler, label string) []vm.ProdProfile {
+	if profiler != nil {
+		return profiler.Profile().Top(flightTopK)
+	}
+	if sp, ok := vm.SampledProfileFor(label); ok {
+		rows := sp.Productions
+		if len(rows) > flightTopK {
+			rows = rows[:flightTopK]
+		}
+		return rows
+	}
+	return nil
+}
+
+// recordFlight assembles and stores one flight record. Called on the
+// request path only for parses that already triggered — the healthy
+// fast path never reaches it.
+func (s *Server) recordFlight(w http.ResponseWriter, req *ParseRequest, traceID, label, trigger string,
+	elapsed time.Duration, lim modpeg.Limits, st modpeg.ParseStats, parseErr error, profiler *modpeg.Profiler) {
+	s.recorder.Record(telemetry.FlightRecord{
+		Time:           time.Now().UTC(),
+		RequestID:      w.Header().Get("X-Request-ID"),
+		TraceID:        traceID,
+		Tenant:         req.Tenant,
+		Grammar:        label,
+		Production:     req.Production,
+		InputBytes:     len(req.Input),
+		DurationNS:     elapsed.Nanoseconds(),
+		Outcome:        flightOutcome(parseErr),
+		Trigger:        trigger,
+		FailPos:        flightFailPos(parseErr, st),
+		Limits:         lim,
+		TopProductions: flightTopProductions(profiler, label),
+	})
+}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"modpeg"
+	"modpeg/internal/telemetry"
+)
+
+const wellFormedTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func TestParseTraceparent(t *testing.T) {
+	cases := []struct {
+		header string
+		trace  string
+		ok     bool
+	}{
+		{wellFormedTraceparent, "4bf92f3577b34da6a3ce929d0e0e4736", true},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", "4bf92f3577b34da6a3ce929d0e0e4736", true},
+		{"", "", false},
+		{"not-a-traceparent", "", false},
+		{"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "", false}, // unknown version
+		{"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", "", false}, // uppercase hex
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", "", false}, // zero trace ID
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", "", false}, // zero parent ID
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-1", "", false},  // short flags
+		{"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "", false}, // bad separator
+	}
+	for _, c := range cases {
+		trace, ok := parseTraceparent(c.header)
+		if trace != c.trace || ok != c.ok {
+			t.Errorf("parseTraceparent(%q) = (%q, %v), want (%q, %v)", c.header, trace, ok, c.trace, c.ok)
+		}
+	}
+}
+
+// TestTraceparentEchoed checks the propagation half of the trace
+// contract: a well-formed inbound traceparent keeps its trace ID on the
+// response, but the parent span ID is regenerated — this service is its
+// own span, not an impersonation of its caller's.
+func TestTraceparentEchoed(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	req := httptest.NewRequest(http.MethodPost, "/parse",
+		strings.NewReader(`{"grammar":"calc.core","input":"1+2"}`))
+	req.Header.Set("traceparent", wellFormedTraceparent)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	out := rec.Header().Get("traceparent")
+	if _, ok := parseTraceparent(out); !ok {
+		t.Fatalf("response traceparent %q is malformed", out)
+	}
+	if got := out[3:35]; got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("response trace ID %q, want the inbound one", got)
+	}
+	if out[36:52] == "00f067aa0ba902b7" {
+		t.Error("response parent ID echoes the caller's span instead of a fresh one")
+	}
+}
+
+// TestTraceparentMinted checks the generation half: absent or malformed
+// headers get a fresh valid trace rather than a reflection.
+func TestTraceparentMinted(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}})
+	for _, header := range []string{"", "garbage", strings.ToUpper(wellFormedTraceparent)} {
+		req := httptest.NewRequest(http.MethodPost, "/parse",
+			strings.NewReader(`{"grammar":"calc.core","input":"1+2"}`))
+		if header != "" {
+			req.Header.Set("traceparent", header)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		out := rec.Header().Get("traceparent")
+		trace, ok := parseTraceparent(out)
+		if !ok {
+			t.Fatalf("minted traceparent %q is malformed (inbound %q)", out, header)
+		}
+		if len(header) == 55 && trace == strings.ToLower(header[3:35]) {
+			t.Errorf("malformed inbound header %q had its trace ID trusted", header)
+		}
+	}
+}
+
+// TestDebugEndpointsDrainGated pins satellite 1: once /readyz flips to
+// draining, the whole debug surface — pprof and the two forensics
+// endpoints — answers 503 instead of starting work on a dying instance.
+func TestDebugEndpointsDrainGated(t *testing.T) {
+	s, err := New(Config{Grammars: []string{"calc.core"}, EnablePprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	paths := []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/profiles", "/debug/flightrecorder"}
+	for _, path := range paths {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("ready: GET %s status %d, want 200", path, rec.Code)
+		}
+	}
+	s.ready.Store(false)
+	for _, path := range paths {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("draining: GET %s status %d, want 503", path, rec.Code)
+		}
+	}
+}
+
+func dumpFlightRecorder(t *testing.T, h http.Handler) telemetry.FlightDump {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/flightrecorder", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/flightrecorder status %d: %s", rec.Code, rec.Body.String())
+	}
+	var dump telemetry.FlightDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("flight dump is not JSON: %v", err)
+	}
+	return dump
+}
+
+// TestFlightRecorderCapturesSlowParse drives a parse over a
+// deliberately tiny latency threshold and checks the flight record
+// carries the full forensic join: request ID, the propagated trace ID,
+// grammar label, duration, and outcome.
+func TestFlightRecorderCapturesSlowParse(t *testing.T) {
+	h := testServer(t, Config{Grammars: []string{"calc.core"}, SlowParse: time.Nanosecond})
+	req := httptest.NewRequest(http.MethodPost, "/parse",
+		strings.NewReader(`{"grammar":"calc.core","input":"1+2*3"}`))
+	req.Header.Set("traceparent", wellFormedTraceparent)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	dump := dumpFlightRecorder(t, h)
+	if dump.Total != 1 || len(dump.Records) != 1 {
+		t.Fatalf("flight recorder holds %d records (total %d), want 1", len(dump.Records), dump.Total)
+	}
+	fr := dump.Records[0]
+	if fr.Trigger != "slow" || fr.Outcome != "ok" {
+		t.Errorf("record trigger/outcome = %q/%q, want slow/ok", fr.Trigger, fr.Outcome)
+	}
+	if fr.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("record trace ID = %q, want the propagated one", fr.TraceID)
+	}
+	if fr.RequestID != rec.Header().Get("X-Request-ID") {
+		t.Errorf("record request ID = %q, header = %q", fr.RequestID, rec.Header().Get("X-Request-ID"))
+	}
+	if fr.Grammar != "calc.core" || fr.InputBytes != 5 || fr.DurationNS <= 0 {
+		t.Errorf("record = %+v", fr)
+	}
+}
+
+// TestFlightRecorderCapturesLimitBreach checks the "limit" trigger: a
+// budget breach is recorded whatever its wall time, with the breach
+// kind in the outcome and the farthest position reached.
+func TestFlightRecorderCapturesLimitBreach(t *testing.T) {
+	h := testServer(t, Config{
+		Grammars: []string{"calc.core"},
+		Limits:   modpeg.Limits{MaxCallDepth: 8},
+	})
+	rec := postParse(t, h, `{"grammar":"calc.core","input":"((((((((((1))))))))))"}`)
+	if rec.Code == http.StatusOK {
+		t.Fatalf("depth-bomb parse succeeded: %s", rec.Body.String())
+	}
+
+	dump := dumpFlightRecorder(t, h)
+	if len(dump.Records) != 1 {
+		t.Fatalf("flight recorder holds %d records, want 1", len(dump.Records))
+	}
+	fr := dump.Records[0]
+	if fr.Trigger != "limit" || !strings.HasPrefix(fr.Outcome, "limit:") {
+		t.Errorf("record trigger/outcome = %q/%q, want limit/limit:*", fr.Trigger, fr.Outcome)
+	}
+	if fr.FailPos < 0 {
+		t.Errorf("record fail_pos = %d, want the breach position", fr.FailPos)
+	}
+	if fr.Limits.MaxCallDepth != 8 {
+		t.Errorf("record limits = %+v, want the effective MaxCallDepth 8", fr.Limits)
+	}
+
+	// A fast syntax error, by contrast, is a client problem and stays
+	// out of the ring.
+	postParse(t, h, `{"grammar":"calc.core","input":"1+"}`)
+	if dump = dumpFlightRecorder(t, h); len(dump.Records) != 1 {
+		t.Errorf("fast syntax error was recorded: %d records", len(dump.Records))
+	}
+}
+
+// TestSampledProfilesEndpoint turns the always-on sampler to 1-in-1 and
+// checks GET /debug/profiles serves the rolling per-production profile
+// for the grammar's label.
+func TestSampledProfilesEndpoint(t *testing.T) {
+	t.Cleanup(modpeg.ResetSampledProfiles)
+	h := testServer(t, Config{Grammars: []string{"calc.core"}, SampleEvery: 1})
+	for i := 0; i < 3; i++ {
+		if rec := postParse(t, h, `{"grammar":"calc.core","input":"1+2*(3-4)"}`); rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/profiles", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/profiles status %d: %s", rec.Code, rec.Body.String())
+	}
+	var profiles []modpeg.SampledProfile
+	if err := json.Unmarshal(rec.Body.Bytes(), &profiles); err != nil {
+		t.Fatalf("profiles payload is not JSON: %v", err)
+	}
+	found := false
+	for _, sp := range profiles {
+		if sp.Label == "calc.core" {
+			found = true
+			if sp.Parses != 3 {
+				t.Errorf("sampled parses = %d, want 3 at rate 1", sp.Parses)
+			}
+			if len(sp.Productions) == 0 {
+				t.Error("sampled profile has no production rows")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no profile for calc.core in %s", rec.Body.String())
+	}
+}

@@ -42,6 +42,10 @@ const DefaultMaxBodyBytes = 8 << 20
 // after its context is canceled.
 const shutdownGrace = 10 * time.Second
 
+// DefaultSlowParse is the flight-recorder latency threshold when
+// Config.SlowParse is zero: parses slower than this are captured.
+const DefaultSlowParse = 250 * time.Millisecond
+
 // Config describes a parse service.
 type Config struct {
 	// Grammars lists the top modules the service accepts. Every entry
@@ -68,6 +72,22 @@ type Config struct {
 	Logger *slog.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// SampleEvery enables always-on sampled profiling for the server's
+	// statically configured grammars: 1 in SampleEvery parse sessions
+	// runs under the per-production profiler, feeding the rolling
+	// per-grammar profiles on GET /debug/profiles and the
+	// hot-production counters on /metrics. 0 disables sampling (the
+	// default — the untouched parse path stays allocation-free).
+	// Registry tenants choose their own rate per upload instead.
+	SampleEvery int
+	// SlowParse is the flight-recorder latency threshold: parses
+	// slower than this are captured on GET /debug/flightrecorder.
+	// 0 means DefaultSlowParse. A registry tenant's slow_parse_ms
+	// setting overrides it for that tenant's parses.
+	SlowParse time.Duration
+	// FlightRecords caps the flight-recorder ring
+	// (0 = telemetry.DefaultFlightRecords).
+	FlightRecords int
 	// Registry, when set, enables the multi-tenant grammar registry:
 	// the /grammars upload/list/delete endpoints, and tenant-scoped
 	// /parse requests (ParseRequest.Tenant/Version) served from
@@ -84,6 +104,8 @@ type Server struct {
 	mu      sync.Mutex
 	parsers map[parserKey]*modpeg.Parser
 
+	recorder *telemetry.FlightRecorder
+
 	ready atomic.Bool
 }
 
@@ -94,7 +116,11 @@ type parserKey struct {
 
 // New builds a Server, compiling every configured grammar up front.
 func New(cfg Config) (*Server, error) {
-	s := &Server{cfg: cfg, parsers: make(map[parserKey]*modpeg.Parser)}
+	s := &Server{
+		cfg:      cfg,
+		parsers:  make(map[parserKey]*modpeg.Parser),
+		recorder: telemetry.NewFlightRecorder(cfg.FlightRecords),
+	}
 	if len(cfg.Grammars) > 0 {
 		s.allowed = make(map[string]bool, len(cfg.Grammars))
 		for _, g := range cfg.Grammars {
@@ -136,6 +162,9 @@ func (s *Server) parserFor(grammar, production string) (*modpeg.Parser, error) {
 	p, err := modpeg.New(grammar, opts...)
 	if err != nil {
 		return nil, err
+	}
+	if s.cfg.SampleEvery > 0 {
+		p.SetSampling(s.cfg.SampleEvery)
 	}
 	s.parsers[key] = p
 	return p, nil
@@ -185,9 +214,11 @@ func withRequestID(next http.Handler) http.Handler {
 }
 
 // Handler returns the service's HTTP handler: POST /parse,
-// GET /metrics, GET /healthz, GET /readyz, and (when enabled)
-// /debug/pprof/. The whole mux is wrapped in the request-id middleware
-// and the structured request logger.
+// GET /metrics, GET /healthz, GET /readyz, the tail-latency debug
+// surface (GET /debug/profiles and GET /debug/flightrecorder, both
+// readiness-gated), and (when enabled) /debug/pprof/, gated the same
+// way. The whole mux is wrapped in the request-id and trace-context
+// middlewares and the structured request logger.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/parse", s.handleParse)
@@ -211,13 +242,15 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	if s.cfg.EnablePprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/debug/pprof/", s.gateDebug(pprof.Index))
+		mux.HandleFunc("/debug/pprof/cmdline", s.gateDebug(pprof.Cmdline))
+		mux.HandleFunc("/debug/pprof/profile", s.gateDebug(pprof.Profile))
+		mux.HandleFunc("/debug/pprof/symbol", s.gateDebug(pprof.Symbol))
+		mux.HandleFunc("/debug/pprof/trace", s.gateDebug(pprof.Trace))
 	}
-	return telemetry.LogRequests(s.cfg.Logger, withRequestID(mux))
+	mux.HandleFunc("GET /debug/profiles", s.gateDebug(s.handleProfiles))
+	mux.HandleFunc("GET /debug/flightrecorder", s.gateDebug(s.handleFlightRecorder))
+	return telemetry.LogRequests(s.cfg.Logger, withRequestID(withTraceContext(mux)))
 }
 
 // Serve accepts connections on ln until ctx is canceled, then flips
@@ -425,6 +458,10 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	base := s.cfg.Limits
+	slowParse := s.cfg.SlowParse
+	if slowParse <= 0 {
+		slowParse = DefaultSlowParse
+	}
 	var p *modpeg.Parser
 	servedVersion := 0
 	switch {
@@ -453,6 +490,9 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		p = lease.Parser
 		base = base.Tighten(lease.Limits)
 		servedVersion = lease.Version
+		if lease.SlowParse > 0 {
+			slowParse = lease.SlowParse
+		}
 	default:
 		if s.allowed != nil && !s.allowed[req.Grammar] {
 			writeError(w, http.StatusBadRequest, ErrorResponse{
@@ -487,15 +527,19 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		parseErr error
 		profiler *modpeg.Profiler
 	)
+	traceID := traceIDFrom(r.Context())
 	start := time.Now()
 	if req.Profile {
 		profiler = p.NewProfiler()
-		val, st, parseErr = p.ParseContextWithHook(r.Context(), name, req.Input, lim, profiler)
+		val, st, parseErr = p.ParseContextTracedWithHook(r.Context(), name, req.Input, lim, traceID, profiler)
 	} else {
-		val, st, parseErr = p.ParseContextWithStats(r.Context(), name, req.Input, lim)
+		val, st, parseErr = p.ParseContextTraced(r.Context(), name, req.Input, lim, traceID)
 	}
 	elapsed := time.Since(start)
 	telemetry.LogParse(s.cfg.Logger, p.Label(), name, len(req.Input), elapsed, st, parseErr)
+	if trigger := flightTrigger(elapsed, slowParse, parseErr); trigger != "" {
+		s.recordFlight(w, &req, traceID, p.Label(), trigger, elapsed, lim, st, parseErr, profiler)
+	}
 
 	if parseErr != nil {
 		s.writeParseError(w, parseErr)

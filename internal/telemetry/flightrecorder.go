@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"modpeg/internal/vm"
+)
+
+// This file is the slow-parse flight recorder: a fixed-size ring of
+// bounded records describing the worst parses a process served — the
+// ones that crossed a latency threshold, blew a resource budget, or
+// died in the engine. Where the latency histogram says "something sat
+// in the 500ms bucket", the flight recorder says which request: its
+// request and trace IDs, tenant and grammar@version, the limits it ran
+// under, how far it got, and (when the sampler caught it) the hottest
+// productions. The ring is deliberately small and lock-cheap — one
+// mutexed slot write per recorded parse, and recorded parses are by
+// definition rare and slow, so the lock never shows up in a profile.
+// Healthy fast parses never touch it.
+
+// FlightRecord is one captured parse. Field sizes are bounded by
+// construction (IDs are capped upstream, profiles are top-10), so the
+// ring's footprint is a few hundred KB at the default capacity.
+type FlightRecord struct {
+	// Time is when the parse finished (and was recorded).
+	Time time.Time `json:"time"`
+	// RequestID is the serve layer's X-Request-ID for the request.
+	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the W3C trace ID propagated (or minted) for the
+	// request — the join key against distributed traces and the
+	// latency-histogram exemplars.
+	TraceID string `json:"trace_id,omitempty"`
+	// Tenant is the registry tenant, empty for static grammars.
+	Tenant string `json:"tenant,omitempty"`
+	// Grammar is the telemetry label the parse ran under
+	// ("tenant/name@vN" for registry grammars).
+	Grammar string `json:"grammar"`
+	// Production is the root production requested, when not the
+	// grammar default.
+	Production string `json:"production,omitempty"`
+	// InputBytes is the input size.
+	InputBytes int `json:"input_bytes"`
+	// DurationNS is the parse's server-side wall time.
+	DurationNS int64 `json:"duration_ns"`
+	// Outcome classifies how the parse ended: "ok", "syntax",
+	// "limit:<kind>" (e.g. "limit:deadline"), or "engine".
+	Outcome string `json:"outcome"`
+	// Trigger says why the record was captured: "slow", "limit", or
+	// "error".
+	Trigger string `json:"trigger"`
+	// FailPos is the farthest-failure input position for syntax and
+	// limit outcomes (-1 when not applicable).
+	FailPos int `json:"fail_pos"`
+	// Limits are the effective budgets the parse ran under.
+	Limits vm.Limits `json:"limits"`
+	// TopProductions holds the hottest profile rows when the request
+	// was explicitly profiled or the grammar's rolling sampled profile
+	// had data — the "why was it slow" payload.
+	TopProductions []vm.ProdProfile `json:"top_productions,omitempty"`
+}
+
+// FlightRecorder is the fixed-size ring. Safe for concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []FlightRecord
+	next  int // slot the next record overwrites
+	count int // live records, <= len(buf)
+	total int64
+}
+
+// DefaultFlightRecords is the default ring capacity.
+const DefaultFlightRecords = 256
+
+// NewFlightRecorder builds a recorder holding the last size records
+// (size <= 0 selects DefaultFlightRecords).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightRecords
+	}
+	return &FlightRecorder{buf: make([]FlightRecord, size)}
+}
+
+// Record captures one parse, evicting the oldest record when the ring
+// is full.
+func (f *FlightRecorder) Record(r FlightRecord) {
+	f.mu.Lock()
+	f.buf[f.next] = r
+	f.next = (f.next + 1) % len(f.buf)
+	if f.count < len(f.buf) {
+		f.count++
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Snapshot copies the live records, newest first.
+func (f *FlightRecorder) Snapshot() []FlightRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightRecord, f.count)
+	for i := 0; i < f.count; i++ {
+		out[i] = f.buf[(f.next-1-i+len(f.buf))%len(f.buf)]
+	}
+	return out
+}
+
+// Total returns the number of records ever captured (including ones
+// the ring has since evicted).
+func (f *FlightRecorder) Total() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Capacity returns the ring size.
+func (f *FlightRecorder) Capacity() int { return len(f.buf) }
+
+// FlightDump is the GET /debug/flightrecorder payload.
+type FlightDump struct {
+	Capacity int            `json:"capacity"`
+	Total    int64          `json:"total_recorded"`
+	Records  []FlightRecord `json:"records"`
+}
+
+// Dump snapshots the recorder into its wire form.
+func (f *FlightRecorder) Dump() FlightDump {
+	records := f.Snapshot()
+	return FlightDump{Capacity: f.Capacity(), Total: f.Total(), Records: records}
+}
+
+// JSON renders the dump.
+func (f *FlightRecorder) JSON() ([]byte, error) {
+	return json.MarshalIndent(f.Dump(), "", "  ")
+}

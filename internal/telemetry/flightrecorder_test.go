@@ -1,0 +1,118 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"strconv"
+	"testing"
+	"time"
+
+	"modpeg/internal/telemetry"
+	"modpeg/internal/vm"
+)
+
+func flightRec(i int) telemetry.FlightRecord {
+	return telemetry.FlightRecord{
+		Time:       time.Unix(1_700_000_000+int64(i), 0).UTC(),
+		RequestID:  "req-" + strconv.Itoa(i),
+		TraceID:    "4bf92f3577b34da6a3ce929d0e0e47" + strconv.Itoa(10+i),
+		Grammar:    "acme/calc@v1",
+		InputBytes: 64,
+		DurationNS: int64(i+1) * 1_000_000,
+		Outcome:    "ok",
+		Trigger:    "slow",
+		FailPos:    -1,
+		Limits:     vm.Limits{MaxCallDepth: 1000},
+	}
+}
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	f := telemetry.NewFlightRecorder(3)
+	if f.Capacity() != 3 {
+		t.Fatalf("Capacity() = %d, want 3", f.Capacity())
+	}
+	for i := 0; i < 5; i++ {
+		f.Record(flightRec(i))
+	}
+	if f.Total() != 5 {
+		t.Errorf("Total() = %d, want 5 (evicted records still count)", f.Total())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot() holds %d records, want capacity 3", len(snap))
+	}
+	// Newest first: records 4, 3, 2 survive; 0 and 1 were evicted.
+	for i, want := range []string{"req-4", "req-3", "req-2"} {
+		if snap[i].RequestID != want {
+			t.Errorf("snapshot[%d].RequestID = %q, want %q (newest first)", i, snap[i].RequestID, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	f := telemetry.NewFlightRecorder(8)
+	f.Record(flightRec(0))
+	f.Record(flightRec(1))
+	snap := f.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot() holds %d records, want 2 (no zero-value padding)", len(snap))
+	}
+	if snap[0].RequestID != "req-1" || snap[1].RequestID != "req-0" {
+		t.Errorf("snapshot order = [%s %s], want newest first", snap[0].RequestID, snap[1].RequestID)
+	}
+}
+
+func TestFlightRecorderDefaultCapacity(t *testing.T) {
+	for _, size := range []int{0, -7} {
+		if got := telemetry.NewFlightRecorder(size).Capacity(); got != telemetry.DefaultFlightRecords {
+			t.Errorf("NewFlightRecorder(%d).Capacity() = %d, want default %d",
+				size, got, telemetry.DefaultFlightRecords)
+		}
+	}
+}
+
+func TestFlightRecorderJSONRoundTrip(t *testing.T) {
+	f := telemetry.NewFlightRecorder(4)
+	rec := flightRec(0)
+	rec.TopProductions = []vm.ProdProfile{{Name: "calc.core.Sum", SelfNanos: 900, Calls: 40}}
+	f.Record(rec)
+	data, err := f.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump telemetry.FlightDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("JSON() does not round-trip: %v", err)
+	}
+	if dump.Capacity != 4 || dump.Total != 1 || len(dump.Records) != 1 {
+		t.Fatalf("dump = capacity %d total %d records %d, want 4/1/1",
+			dump.Capacity, dump.Total, len(dump.Records))
+	}
+	got := dump.Records[0]
+	if got.RequestID != rec.RequestID || got.TraceID != rec.TraceID ||
+		got.DurationNS != rec.DurationNS || got.Limits.MaxCallDepth != 1000 {
+		t.Errorf("record did not survive the round-trip: %+v", got)
+	}
+	if len(got.TopProductions) != 1 || got.TopProductions[0].Name != "calc.core.Sum" {
+		t.Errorf("top productions lost: %+v", got.TopProductions)
+	}
+}
+
+func TestFlightRecorderConcurrentRecord(t *testing.T) {
+	f := telemetry.NewFlightRecorder(16)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				f.Record(flightRec(i))
+				f.Snapshot()
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if f.Total() != 400 {
+		t.Errorf("Total() = %d after 4x100 concurrent records, want 400", f.Total())
+	}
+}

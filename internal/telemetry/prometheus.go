@@ -112,6 +112,8 @@ func WritePrometheus(w io.Writer, m vm.MetricsSnapshot) error {
 	p.histogram("modpeg_parse_input_bytes",
 		"Input size of each parse in bytes.", m.ParseInputBytes, 1)
 
+	writeSampledProfiles(&p, m.SampledProfiles)
+
 	if labels := m.GrammarLabels(); len(labels) > 0 {
 		p.header("modpeg_grammar_parses_started_total",
 			"Parses begun, by grammar label.", "counter")
@@ -186,17 +188,87 @@ func (p *promWriter) sample(name, labels, value string) {
 // histogram renders h with its native int64 bounds and sum scaled by
 // unit (1e-9 converts the nanosecond latency histogram to conventional
 // seconds). Buckets in a HistogramSnapshot are already cumulative; the
-// +Inf bucket is the total count.
+// +Inf bucket is the total count. Buckets carrying an exemplar get the
+// OpenMetrics `# {trace_id=...} value timestamp` suffix; exemplar-free
+// output is byte-identical to the plain exposition format, so existing
+// scrapers are unaffected until a traced parse lands.
 func (p *promWriter) histogram(name, help string, h vm.HistogramSnapshot, unit float64) {
 	p.header(name, help, "histogram")
 	for _, b := range h.Buckets {
 		p.sample(name+"_bucket",
 			`{le="`+formatFloat(float64(b.UpperBound)*unit)+`"}`,
-			strconv.FormatInt(b.Count, 10))
+			strconv.FormatInt(b.Count, 10)+exemplarSuffix(b.Exemplar, unit))
 	}
-	p.sample(name+"_bucket", `{le="+Inf"}`, strconv.FormatInt(h.Count, 10))
+	p.sample(name+"_bucket", `{le="+Inf"}`,
+		strconv.FormatInt(h.Count, 10)+exemplarSuffix(h.InfExemplar, unit))
 	p.sample(name+"_sum", "", formatFloat(float64(h.Sum)*unit))
 	p.sample(name+"_count", "", strconv.FormatInt(h.Count, 10))
+}
+
+// exemplarSuffix renders a bucket's exemplar in OpenMetrics syntax
+// (` # {trace_id="...",grammar="..."} value timestamp`), or "" for
+// buckets without one. The exemplar value is scaled by the same unit
+// as the histogram; the timestamp is Unix seconds.
+func exemplarSuffix(e *vm.Exemplar, unit float64) string {
+	if e == nil {
+		return ""
+	}
+	s := ` # {trace_id="` + escapeLabel(e.TraceID) + `"`
+	if e.Grammar != "" {
+		s += `,grammar="` + escapeLabel(e.Grammar) + `"`
+	}
+	s += `} ` + formatFloat(float64(e.Value)*unit)
+	if e.TimeUnixNS != 0 {
+		s += " " + strconv.FormatFloat(float64(e.TimeUnixNS)/1e9, 'f', 3, 64)
+	}
+	return s
+}
+
+// hotProductionTopK bounds the per-grammar hot-production rows merged
+// into the exposition (the full rolling profiles stay on
+// GET /debug/profiles).
+const hotProductionTopK = 5
+
+// writeSampledProfiles renders the rolling sampled profiles as
+// per-grammar counters: sampled-parse counts plus the top-K hottest
+// productions' self time and calls. Silent (no headers) while sampling
+// is off everywhere, keeping the default exposition byte-identical.
+func writeSampledProfiles(p *promWriter, profiles []vm.SampledProfile) {
+	if len(profiles) == 0 {
+		return
+	}
+	p.header("modpeg_sampled_parses_total",
+		"Parses captured by the 1-in-N sampled profiler, by grammar label.", "counter")
+	for _, sp := range profiles {
+		p.sample("modpeg_sampled_parses_total",
+			`{grammar="`+escapeLabel(sp.Label)+`"}`,
+			strconv.FormatInt(sp.Parses, 10))
+	}
+	p.header("modpeg_hot_production_self_seconds_total",
+		"Sampled self time of the hottest productions, by grammar label (top 5).", "counter")
+	for _, sp := range profiles {
+		for _, r := range topRows(sp.Productions) {
+			p.sample("modpeg_hot_production_self_seconds_total",
+				`{grammar="`+escapeLabel(sp.Label)+`",production="`+escapeLabel(r.Name)+`"}`,
+				formatFloat(float64(r.SelfNanos)*1e-9))
+		}
+	}
+	p.header("modpeg_hot_production_calls_total",
+		"Sampled calls of the hottest productions, by grammar label (top 5).", "counter")
+	for _, sp := range profiles {
+		for _, r := range topRows(sp.Productions) {
+			p.sample("modpeg_hot_production_calls_total",
+				`{grammar="`+escapeLabel(sp.Label)+`",production="`+escapeLabel(r.Name)+`"}`,
+				strconv.FormatInt(r.Calls, 10))
+		}
+	}
+}
+
+func topRows(rows []vm.ProdProfile) []vm.ProdProfile {
+	if len(rows) > hotProductionTopK {
+		return rows[:hotProductionTopK]
+	}
+	return rows
 }
 
 func formatFloat(f float64) string {

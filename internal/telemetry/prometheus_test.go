@@ -66,6 +66,75 @@ func TestWritePrometheusGolden(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusExemplarGolden pins the tail-forensics additions
+// byte for byte: OpenMetrics exemplar suffixes on traced histogram
+// buckets and the sampled-profile counter families (with the top-5
+// hot-production truncation). TestWritePrometheusGolden above remains
+// the byte-identity proof for the exemplar-free rendering — its golden
+// file is untouched by this feature.
+func TestWritePrometheusExemplarGolden(t *testing.T) {
+	hot := func(name string, selfNS, calls int64) vm.ProdProfile {
+		return vm.ProdProfile{Name: name, SelfNanos: selfNS, Calls: calls}
+	}
+	snap := vm.MetricsSnapshot{
+		ParsesStarted:   4,
+		ParsesCompleted: 3,
+		ParsesFailed:    1,
+		PoolGets:        4,
+		ParseDurationNS: vm.HistogramSnapshot{
+			Count: 4,
+			Sum:   16_000_000,
+			Buckets: []vm.HistogramBucket{
+				{UpperBound: 1_000_000, Count: 1},
+				{UpperBound: 10_000_000, Count: 3, Exemplar: &vm.Exemplar{
+					TraceID:    "4bf92f3577b34da6a3ce929d0e0e4736",
+					Grammar:    "acme/calc@v3",
+					Value:      7_500_000,
+					TimeUnixNS: 1_700_000_123_456_000_000,
+				}},
+			},
+			InfExemplar: &vm.Exemplar{
+				TraceID:    "00f067aa0ba902b7aabbccdd11223344",
+				Grammar:    "acme/calc@v3",
+				Value:      12_000_000,
+				TimeUnixNS: 1_700_000_124_000_000_000,
+			},
+		},
+		ParseInputBytes: vm.HistogramSnapshot{
+			Count:   4,
+			Sum:     220,
+			Buckets: []vm.HistogramBucket{{UpperBound: 256, Count: 4}},
+		},
+		SampledProfiles: []vm.SampledProfile{
+			{
+				Label:  "acme/calc@v3",
+				Parses: 7,
+				Productions: []vm.ProdProfile{
+					// Six rows: the exposition must keep the top 5.
+					hot("calc.core.Sum", 900_000, 40),
+					hot("calc.core.Product", 700_000, 38),
+					hot("calc.core.Value", 400_000, 120),
+					hot("calc.core.Number", 300_000, 90),
+					hot("calc.core.Space", 200_000, 300),
+					hot("calc.core.Digit", 100_000, 500),
+				},
+			},
+			{Label: `wei"rd\lbl`, Parses: 2, Productions: []vm.ProdProfile{hot("p", 1_000, 1)}},
+		},
+	}
+	var b strings.Builder
+	if err := telemetry.WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/metrics_exemplar.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != string(golden) {
+		t.Errorf("exemplar exposition drifted from testdata/metrics_exemplar.prom.\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
 // expositionLine matches the sample-line grammar of the text format:
 // metric name, optional label set, and a float/integer value.
 var expositionLine = regexp.MustCompile(
@@ -92,6 +161,11 @@ func TestPrometheusFormatValid(t *testing.T) {
 	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
 		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
 			continue
+		}
+		// Strip an OpenMetrics exemplar suffix before grammar-checking:
+		// the base sample must stand alone without it.
+		if i := strings.Index(line, " # {"); i >= 0 {
+			line = line[:i]
 		}
 		if !expositionLine.MatchString(line) && !strings.Contains(line, `le="+Inf"`) {
 			t.Errorf("malformed exposition line: %q", line)

@@ -99,6 +99,14 @@ func (t *Trace) OnMemoHit(prod, pos, end int, ok bool) {
 // OnFail is a no-op: dispatch fast-fails are too numerous to chart.
 func (t *Trace) OnFail(prod, pos int) {}
 
+// OnTraceContext stamps the stream with the parse's W3C trace ID
+// (vm.TraceContextHook): a metadata record correlating this timeline
+// with the distributed trace the request belongs to.
+func (t *Trace) OnTraceContext(traceID string) {
+	t.event(`{"name":"trace_id","ph":"M","pid":1,"tid":1,"args":{"trace_id":` +
+		strconv.Quote(traceID) + `}}`)
+}
+
 // OnMemoShed emits an instant event marking the parse shedding
 // memoization at its memo budget (vm.ShedHook).
 func (t *Trace) OnMemoShed(pos, arenaBytes int) {

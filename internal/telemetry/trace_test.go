@@ -127,6 +127,51 @@ func TestTraceWellFormed(t *testing.T) {
 	}
 }
 
+// TestTraceCarriesTraceID checks the W3C trace-context stamp: a traced
+// parse with the Chrome exporter installed puts a trace_id metadata
+// record on the timeline before the first production span.
+func TestTraceCarriesTraceID(t *testing.T) {
+	p := tinyParser(t)
+	var b strings.Builder
+	tr := p.NewTraceJSON(&b)
+	tr.SetClock(counterClock())
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	if _, _, err := p.ParseContextTracedWithHook(t.Context(), "in", "xx", modpeg.Limits{}, traceID, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("traced timeline is not valid JSON: %v", err)
+	}
+	found := -1
+	firstSpan := len(events)
+	for i, e := range events {
+		name, _ := e["name"].(string)
+		if name == "trace_id" {
+			if ph := e["ph"]; ph != "M" {
+				t.Errorf("trace_id event ph = %v, want metadata", ph)
+			}
+			args, _ := e["args"].(map[string]any)
+			if got := args["trace_id"]; got != traceID {
+				t.Errorf("trace_id args = %v, want %q", got, traceID)
+			}
+			found = i
+		}
+		if ph, _ := e["ph"].(string); ph == "B" && i < firstSpan {
+			firstSpan = i
+		}
+	}
+	if found < 0 {
+		t.Fatal("timeline has no trace_id metadata record")
+	}
+	if found > firstSpan {
+		t.Errorf("trace_id record at %d after first span at %d", found, firstSpan)
+	}
+}
+
 // TestTraceEmptyAndShed covers the no-event stream and the memo-shed
 // instant event.
 func TestTraceEmptyAndShed(t *testing.T) {

@@ -184,6 +184,14 @@ type Program struct {
 	// default from the root production's module qualifier; SetLabel
 	// re-points it. Atomic so SetLabel is safe against in-flight parses.
 	gstats atomic.Pointer[grammarStats]
+	// sampleEvery/sampleTick drive the always-on sampled profiler
+	// (sample.go): every sampleEvery-th pooled checkout (counted by
+	// sampleTick) borrows a profiler from profPool. sampleEvery == 0
+	// (the default) disables sampling at the cost of one atomic load
+	// per acquire.
+	sampleEvery atomic.Int64
+	sampleTick  atomic.Int64
+	profPool    sync.Pool
 }
 
 type valueKind uint8

@@ -212,4 +212,19 @@ func TestDisabledInstrumentationZeroAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("disabled instrumentation added %.1f allocs/op to pooled parse, want 0", allocs)
 	}
+	// The traced entry point with sampling off and an empty trace ID is
+	// the serve layer's default hot path: the sampling decision is one
+	// atomic load in acquire and the exemplar branch one string
+	// comparison in finishStats — neither may allocate.
+	if prog.Sampling() != 0 {
+		t.Fatalf("Sampling() = %d, want 0 by default", prog.Sampling())
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		if _, _, err := prog.ParseContextTraced(ctx, src, Limits{}, ""); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("sampling-off untraced ParseContextTraced added %.1f allocs/op, want 0", allocs)
+	}
 }

@@ -253,6 +253,17 @@ type Parser struct {
 	// started is its wall-clock start for the latency histogram.
 	telemetry bool
 	started   time.Time
+
+	// sampler is the profiler a sampled checkout borrowed (sample.go):
+	// acquire installs it 1-in-N, begin wires it in as the hook, and
+	// release folds it into the label's rolling profile. sampledParses
+	// counts the begins it observed within this checkout.
+	sampler       *Profiler
+	sampledParses int64
+	// traceID is the W3C trace ID of a traced parse
+	// (ParseContextTraced); finishStats records it as a latency-bucket
+	// exemplar. Empty (reset by begin) for untraced parses.
+	traceID string
 }
 
 // maxExpected caps the recorded expectation set.
@@ -300,11 +311,18 @@ func (p *Program) ParsePrefix(src *text.Source) (ast.Value, int, Stats, error) {
 // is empty.
 func (p *Program) acquire() *Parser {
 	metrics.poolGets.Add(1)
-	if ps, ok := p.pool.Get().(*Parser); ok {
-		return ps
+	ps, ok := p.pool.Get().(*Parser)
+	if !ok {
+		metrics.poolNews.Add(1)
+		ps = &Parser{prog: p}
 	}
-	metrics.poolNews.Add(1)
-	return &Parser{prog: p}
+	// Sampled-profiling decision (sample.go): one atomic load when
+	// sampling is off; when on, every n-th checkout borrows a profiler
+	// that begin installs as the parse hook.
+	if n := p.sampleEvery.Load(); n > 0 && p.sampleTick.Add(1)%n == 0 {
+		ps.sampler = p.sampledProfiler()
+	}
+	return ps
 }
 
 // release returns ps to the pool. The parser keeps its arenas (and,
@@ -312,6 +330,11 @@ func (p *Program) acquire() *Parser {
 // the pool drops idle parsers on GC, bounding that retention.
 func (p *Program) release(ps *Parser) {
 	ps.hook = nil
+	if ps.sampler != nil {
+		p.finishSample(ps.sampler, ps.sampledParses)
+		ps.sampler = nil
+		ps.sampledParses = 0
+	}
 	p.pool.Put(ps)
 }
 
@@ -331,6 +354,14 @@ func (ps *Parser) begin(src *text.Source) {
 	ps.failExpected = ps.failExpected[:0]
 	ps.quiet = 0
 	ps.hook = nil
+	if ps.sampler != nil {
+		// A sampled checkout profiles every parse it serves; callers
+		// that install their own hook after begin override this for
+		// that parse (the rolling profile just sees less).
+		ps.hook = ps.sampler
+		ps.sampledParses++
+	}
+	ps.traceID = ""
 	ps.examined = 0
 	ps.gen = 0
 	ps.beginTelemetry()
@@ -459,7 +490,11 @@ func (ps *Parser) finishStats() {
 		len(ps.memoMap)*mapEntryBytes
 	metrics.observePeakMemo(int64(ps.stats.MemoBytes))
 	if ps.telemetry {
-		metrics.parseDuration.observe(int64(time.Since(ps.started)))
+		d := int64(time.Since(ps.started))
+		metrics.parseDuration.observe(d)
+		if ps.traceID != "" {
+			metrics.parseDuration.exemplar(d, ps.traceID, ps.prog.Label())
+		}
 	}
 }
 

@@ -82,14 +82,32 @@ var (
 // histMaxBuckets sizes the static bucket arrays: the longest ladder.
 const histMaxBuckets = 22
 
+// Exemplar is one traced observation pinned to a histogram bucket: the
+// trace ID of the request that landed there, the grammar label it
+// parsed under, the observed value (the histogram's native unit), and
+// the wall-clock time it was recorded. Each bucket keeps its most
+// recent exemplar, so a scrape of the tail buckets carries concrete
+// trace IDs to chase — the OpenMetrics exemplar model.
+type Exemplar struct {
+	TraceID    string `json:"trace_id"`
+	Grammar    string `json:"grammar,omitempty"`
+	Value      int64  `json:"value"`
+	TimeUnixNS int64  `json:"time_unix_ns"`
+}
+
 // histogram is a lock-free fixed-bucket histogram. Per-bucket counts
 // are stored non-cumulative (one atomic add per observation) and summed
-// into Prometheus-style cumulative buckets at snapshot time.
+// into Prometheus-style cumulative buckets at snapshot time. Each
+// bucket additionally holds the latest traced observation that landed
+// in it (one atomic pointer; the extra slot is the implicit +Inf
+// bucket) — written only by traced parses, so the untraced hot path
+// never touches it.
 type histogram struct {
-	bounds  []int64 // ascending inclusive upper bounds; +Inf implicit
-	count   atomic.Int64
-	sum     atomic.Int64
-	buckets [histMaxBuckets]atomic.Int64
+	bounds    []int64 // ascending inclusive upper bounds; +Inf implicit
+	count     atomic.Int64
+	sum       atomic.Int64
+	buckets   [histMaxBuckets]atomic.Int64
+	exemplars [histMaxBuckets + 1]atomic.Pointer[Exemplar]
 }
 
 // observe records one value: three atomic adds and a bounded scan, no
@@ -107,19 +125,41 @@ func (h *histogram) observe(v int64) {
 	// which snapshot derives from count.
 }
 
+// exemplar pins (traceID, label, v) to the bucket v lands in — the
+// same bucket selection as observe, plus the +Inf slot for values
+// beyond the last bound. One small allocation per traced parse, off
+// the untraced path entirely.
+func (h *histogram) exemplar(v int64, traceID, label string) {
+	e := &Exemplar{TraceID: traceID, Grammar: label, Value: v, TimeUnixNS: time.Now().UnixNano()}
+	slot := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			slot = i
+			break
+		}
+	}
+	h.exemplars[slot].Store(e)
+}
+
 func (h *histogram) reset() {
 	h.count.Store(0)
 	h.sum.Store(0)
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
 	}
+	for i := range h.exemplars {
+		h.exemplars[i].Store(nil)
+	}
 }
 
 // HistogramBucket is one cumulative histogram bucket: the number of
-// observations with value <= UpperBound.
+// observations with value <= UpperBound, plus the latest traced
+// observation that landed in it (nil when the bucket has never seen a
+// traced parse).
 type HistogramBucket struct {
-	UpperBound int64 `json:"le"`
-	Count      int64 `json:"count"`
+	UpperBound int64     `json:"le"`
+	Count      int64     `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistogramSnapshot is a point-in-time copy of a registry histogram.
@@ -131,6 +171,9 @@ type HistogramSnapshot struct {
 	Count   int64             `json:"count"`
 	Sum     int64             `json:"sum"`
 	Buckets []HistogramBucket `json:"buckets"`
+	// InfExemplar is the latest traced observation beyond the last
+	// finite bound (the implicit +Inf bucket).
+	InfExemplar *Exemplar `json:"inf_exemplar,omitempty"`
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {
@@ -142,8 +185,17 @@ func (h *histogram) snapshot() HistogramSnapshot {
 	var cum int64
 	for i, b := range h.bounds {
 		cum += h.buckets[i].Load()
-		s.Buckets[i] = HistogramBucket{UpperBound: b, Count: cum}
+		s.Buckets[i] = HistogramBucket{UpperBound: b, Count: cum, Exemplar: h.exemplars[i].Load()}
 	}
+	// Count was loaded before the buckets were summed, so observations
+	// racing in between can make the cumulative sum exceed it — which
+	// would render a +Inf bucket smaller than the last finite one.
+	// Clamp Count up to the sum so the snapshot is always internally
+	// monotone (the next scrape sees the full count anyway).
+	if cum > s.Count {
+		s.Count = cum
+	}
+	s.InfExemplar = h.exemplars[len(h.bounds)].Load()
 	return s
 }
 
@@ -437,6 +489,11 @@ type MetricsSnapshot struct {
 	// label defaults to the root production's module qualifier and is
 	// overridden by Program.SetLabel.
 	Grammars map[string]GrammarCounters `json:"grammars,omitempty"`
+	// SampledProfiles holds the rolling 1-in-N sampled profiles, one
+	// per grammar label that has been sampled (sample.go); empty while
+	// sampling is off everywhere. The Prometheus exporter renders the
+	// top rows as hot-production counters.
+	SampledProfiles []SampledProfile `json:"sampled_profiles,omitempty"`
 }
 
 // Metrics returns a snapshot of the process-wide engine metrics.
@@ -474,6 +531,7 @@ func Metrics() MetricsSnapshot {
 		ParseDurationNS: metrics.parseDuration.snapshot(),
 		ParseInputBytes: metrics.inputSize.snapshot(),
 		Grammars:        snapshotGrammars(),
+		SampledProfiles: SampledProfiles(),
 	}
 }
 

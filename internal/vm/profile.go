@@ -387,6 +387,17 @@ func (pr *Profiler) OnFail(prod, pos int) {
 	pr.p.Prods[prod].DispatchSkips++
 }
 
+// reset rewinds the profiler for reuse by the sampling pool
+// (sample.go): counters zeroed in place keeping the production names,
+// the shadow stack truncated (a limit-stopped parse can leave frames
+// behind).
+func (pr *Profiler) reset() {
+	for i := range pr.p.Prods {
+		pr.p.Prods[i] = ProdProfile{Name: pr.p.Prods[i].Name}
+	}
+	pr.stack = pr.stack[:0]
+}
+
 // Profile returns a copy of the accumulated profile, with MemoMisses
 // derived (a memoized production's every call follows a miss). The
 // profiler keeps accumulating; call Profile again for a later snapshot.

@@ -410,6 +410,62 @@ func (p *Parser) ParseContextWithHook(ctx context.Context, name, input string, l
 	return p.prog.ParseContextWithHook(ctx, text.NewSource(name, input), lim, h)
 }
 
+// ParseContextTraced is ParseContextWithStats carrying a W3C trace ID:
+// the parse's latency observation records (trace ID, grammar label,
+// duration) as an exemplar on the histogram bucket it lands in, so
+// tail-bucket scrapes carry real trace IDs. An empty traceID makes
+// this exactly ParseContextWithStats, zero-allocation steady state
+// included.
+func (p *Parser) ParseContextTraced(ctx context.Context, name, input string, lim Limits, traceID string) (Value, ParseStats, error) {
+	return p.prog.ParseContextTraced(ctx, text.NewSource(name, input), lim, traceID)
+}
+
+// ParseContextTracedWithHook is ParseContextWithHook carrying a W3C
+// trace ID; when h also implements TraceContextParseHook it receives
+// the ID before any parse event (the Chrome-trace exporter stamps its
+// timeline with it).
+func (p *Parser) ParseContextTracedWithHook(ctx context.Context, name, input string, lim Limits, traceID string, h ParseHook) (Value, ParseStats, error) {
+	return p.prog.ParseContextTracedWithHook(ctx, text.NewSource(name, input), lim, traceID, h)
+}
+
+// TraceContextParseHook is the optional ParseHook extension that
+// receives a traced parse's W3C trace ID before its first event.
+type TraceContextParseHook = vm.TraceContextHook
+
+// Exemplar is one traced observation pinned to a latency-histogram
+// bucket: trace ID, grammar label, observed value, and record time.
+type Exemplar = vm.Exemplar
+
+// SampledProfile is one grammar label's rolling 1-in-N sampled
+// profile (see Parser.SetSampling): sampled-parse count plus
+// aggregated per-production rows, hottest first.
+type SampledProfile = vm.SampledProfile
+
+// SetSampling sets this parser's always-on profiling sample rate:
+// every n-th pooled parse runs with a borrowed profiler and folds into
+// the grammar label's rolling SampledProfile. n <= 0 (the default)
+// disables sampling; the disabled path costs one atomic load per
+// parse and keeps the zero-allocation steady state. Sampled parses run
+// the interpreter (the hook seam), so keep n large enough that 1/n of
+// traffic on the slower path is acceptable — 100 keeps the measured
+// end-to-end overhead under 2%.
+func (p *Parser) SetSampling(n int) { p.prog.SetSampling(n) }
+
+// Sampling returns the parser's current sample rate (0 = off).
+func (p *Parser) Sampling() int { return p.prog.Sampling() }
+
+// SampledProfiles snapshots every grammar label's rolling sampled
+// profile, sorted by label.
+func SampledProfiles() []SampledProfile { return vm.SampledProfiles() }
+
+// SampledProfileFor snapshots one grammar label's rolling sampled
+// profile; ok is false when the label has never been sampled.
+func SampledProfileFor(label string) (SampledProfile, bool) { return vm.SampledProfileFor(label) }
+
+// ResetSampledProfiles drops every rolling sampled profile (windowed
+// scraping; ResetMetrics leaves them alone).
+func ResetSampledProfiles() { vm.ResetSampledProfiles() }
+
 // Label returns the grammar label this parser's parses are counted
 // under in the metrics registry (the top module name); SetLabel
 // overrides it.

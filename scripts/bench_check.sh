@@ -25,6 +25,14 @@
 #      (measured ~1400-1650 depending on machine load). Both ratios
 #      come from paired same-iteration timing, so they are stable where
 #      absolute ns/op is not.
+#   5. The always-on sampled-profiling gates: the Table 5
+#      sampling-off row (the serve layer's pooled traced entry point
+#      with sampling disabled) must exist and report exactly 0
+#      allocs/op — the sampler may not cost anything when off — and
+#      derived/sampling-overhead-x1000 must stay at or below 1020:
+#      1-in-100 sampling adds at most 2% to the end-to-end 64 KB java
+#      parse (measured ~1009; the ratio is amortized from paired
+#      same-iteration timing, see BenchmarkTable6SamplingOverhead).
 #
 # Plain grep/sed so the gate runs anywhere a POSIX shell does.
 set -eu
@@ -32,6 +40,7 @@ report="${1:-BENCH_9.json}"
 max_ns_per_byte=450
 min_compiled_speedup=1250
 min_compiled_void_speedup=2000
+max_sampling_overhead=1020
 
 if [ ! -f "$report" ]; then
 	echo "bench_check: report $report not found (run scripts/bench.sh first)" >&2
@@ -54,7 +63,8 @@ for name in \
 	derived/trace-export-overhead-x1000 \
 	derived/compiled-speedup-x1000 \
 	derived/compiled-void-speedup-x1000 \
-	derived/java-40KB-ns-per-byte; do
+	derived/java-40KB-ns-per-byte \
+	derived/sampling-overhead-x1000; do
 	if [ -z "$(row_ns "$name")" ]; then
 		echo "bench_check: FAIL: expected derived row \"$name\" is missing from $report" >&2
 		echo "bench_check:       (its source benchmark was renamed, filtered out, or did not run)" >&2
@@ -81,6 +91,15 @@ else
 	done <<EOF
 $rows
 EOF
+	# The sampled-off canary must be among those rows: the pooled traced
+	# entry point with sampling disabled is the serve layer's default hot
+	# path, and its 0 allocs/op is the "always-on profiling costs nothing
+	# when off" guarantee.
+	if ! printf '%s\n' "$rows" | grep -q 'Table5VoidSteadyState/sampling-off'; then
+		echo "bench_check: FAIL: no Table5VoidSteadyState/sampling-off row in $report" >&2
+		echo "bench_check:       (the sampled-off void canary was renamed, filtered out, or did not run)" >&2
+		fail=1
+	fi
 fi
 
 # 3. Hot-path ratchet.
@@ -102,7 +121,14 @@ if [ -n "$vspeed" ] && [ "$vspeed" -lt "$min_compiled_void_speedup" ]; then
 	fail=1
 fi
 
+# 5. Sampling-overhead ratchet (a ceiling: 1020 = 2% end-to-end).
+sover=$(row_ns derived/sampling-overhead-x1000)
+if [ -n "$sover" ] && [ "$sover" -gt "$max_sampling_overhead" ]; then
+	echo "bench_check: FAIL: 1-in-100 sampled profiling at ${sover}/1000 x over the unsampled parse, ceiling is ${max_sampling_overhead} (= the 2% acceptance gate)" >&2
+	fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
 	exit 1
 fi
-echo "bench_check: OK (derived rows present, void canary 0 allocs/op on every engine, java hot path ${nspb} ns/byte <= ${max_ns_per_byte}, compiled speedups ${cspeed}/${vspeed} x1000 >= ${min_compiled_speedup}/${min_compiled_void_speedup})"
+echo "bench_check: OK (derived rows present, void canary 0 allocs/op on every engine incl. sampling-off, java hot path ${nspb} ns/byte <= ${max_ns_per_byte}, compiled speedups ${cspeed}/${vspeed} x1000 >= ${min_compiled_speedup}/${min_compiled_void_speedup}, sampling overhead ${sover} x1000 <= ${max_sampling_overhead})"

@@ -17,8 +17,12 @@ base="http://$addr"
 
 go build -o "$bin" ./cmd/modpeg
 
+# -sample-every 1 profiles every parse and -slow-parse 1ns records
+# every parse in the flight recorder, so the forensics assertions below
+# are deterministic.
 "$bin" serve -addr "$addr" -grammars calc.core,json.value \
-	-registry-dir "$tmp/registry" 2>"$tmp/serve.log" &
+	-registry-dir "$tmp/registry" \
+	-sample-every 1 -slow-parse 1ns 2>"$tmp/serve.log" &
 pid=$!
 cleanup() {
 	kill -9 "$pid" 2>/dev/null || true
@@ -84,6 +88,50 @@ if [ "$code" != "422" ]; then
 fi
 grep -qi '^x-request-id: smoke-42' "$tmp/err.hdr"
 grep -q '"request_id":"smoke-42"' "$tmp/err.json"
+
+# ------------------------------------------------ tail-latency forensics
+# W3C trace context: a fresh traceparent is minted when the client
+# sends none...
+curl -fsS -D "$tmp/tp-gen.hdr" -o /dev/null -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-d '{"grammar":"calc.core","input":"1"}'
+grep -qi '^traceparent: 00-[0-9a-f]\{32\}-[0-9a-f]\{16\}-01' "$tmp/tp-gen.hdr"
+
+# ...and a supplied one is propagated: the trace ID survives but the
+# parent span ID is regenerated (this service is its own span).
+trace_id=4bf92f3577b34da6a3ce929d0e0e4736
+parent_id=00f067aa0ba902b7
+curl -fsS -D "$tmp/tp.hdr" -o /dev/null -X POST "$base/parse" \
+	-H 'Content-Type: application/json' \
+	-H "traceparent: 00-$trace_id-$parent_id-01" \
+	-d '{"grammar":"calc.core","input":"1+2*3"}'
+grep -qi "^traceparent: 00-$trace_id-" "$tmp/tp.hdr"
+if grep -qi "^traceparent: 00-$trace_id-$parent_id-" "$tmp/tp.hdr"; then
+	echo "serve_smoke: response traceparent echoed the caller's parent span" >&2
+	exit 1
+fi
+
+# The traced parse's trace ID lands as an OpenMetrics exemplar on the
+# latency histogram bucket it observed.
+curl -fsS "$base/metrics" | grep -q "# {trace_id=\"$trace_id\""
+
+# The same trace ID is the join key into the flight recorder (the 1ns
+# slow-parse threshold records every parse).
+fr=$(curl -fsS "$base/debug/flightrecorder")
+printf '%s\n' "$fr" | jq -e '.capacity == 256 and .total_recorded >= 1' >/dev/null
+printf '%s\n' "$fr" | jq -e --arg t "$trace_id" \
+	'[.records[] | select(.trace_id == $t and .grammar == "calc.core" and .trigger == "slow" and .outcome == "ok")] | length >= 1' >/dev/null
+printf '%s\n' "$fr" | jq -e '.records[0].duration_ns > 0' >/dev/null
+
+# Always-on sampled profiling (rate 1 here): the rolling per-production
+# profile is served on /debug/profiles...
+curl -fsS "$base/debug/profiles" | jq -e \
+	'[.[] | select(.grammar == "calc.core")] | length == 1 and ([.[] | select(.grammar == "calc.core")][0].productions | length) >= 1' >/dev/null
+
+# ...and its aggregates reach /metrics as hot-production counters.
+metrics=$(curl -fsS "$base/metrics")
+printf '%s\n' "$metrics" | grep -q 'modpeg_sampled_parses_total{grammar="calc.core"}'
+printf '%s\n' "$metrics" | grep -q 'modpeg_hot_production_self_seconds_total{grammar="calc.core"'
 
 # --------------------------------------------------- registry lifecycle
 # Upload a base grammar, extend it with a modification module, hot-swap
